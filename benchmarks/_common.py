@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+samples the relevant compiled program, renders the table in the paper's
+layout next to the paper's reported values, asserts the qualitative
+*shape* (who wins, rough magnitudes -- not exact timings), and writes
+the rendered output under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Sample counts: the paper uses 100k samples per row; the suite defaults
+to ``ZAR_BENCH_SAMPLES`` (or 5000) so a full run takes minutes, and
+heavy rows are scaled down by a weight.  Set ``ZAR_BENCH_SAMPLES=100000``
+to reproduce at paper scale.
+"""
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_samples(weight: int = 1) -> int:
+    """Samples for one table row; heavier rows pass a larger weight."""
+    base = int(os.environ.get("ZAR_BENCH_SAMPLES", "5000"))
+    return max(300, base // weight)
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table for EXPERIMENTS.md and print it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / ("%s.txt" % name)
+    path.write_text(text + "\n")
+    print()
+    print(text)
+
+
+def paper_row(label, **values) -> str:
+    """Render a 'paper reported' reference line."""
+    parts = ["%s=%s" % (key, value) for key, value in values.items()]
+    return "  paper  %-10s %s" % (label, "  ".join(parts))

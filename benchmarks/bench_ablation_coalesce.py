@@ -1,0 +1,105 @@
+"""Ablation: duplicate-leaf coalescing in the rejection constructions.
+
+DESIGN.md calls out the coalescing step (Appendix A step 5) as the
+source of near-entropy-optimality.  This ablation computes *exact*
+expected flips for the three coalescing modes across uniform ranges and
+Bernoulli biases, quantifying:
+
+- "none" vs "loopback": what the artifact's leaf-merging buys;
+- "loopback" vs "full": what merging equal outcome subtrees would add
+  (the paper's Figure 4b idealization; not what its tables measure).
+"""
+
+from fractions import Fraction
+
+from repro.cftree.analysis import expected_bits
+from repro.cftree.tree import Leaf
+from repro.cftree.uniform import bernoulli_tree, rejection_tree, uniform_tree
+from repro.stats.distributions import uniform_pmf
+from repro.stats.entropy import shannon_entropy
+
+from benchmarks._common import write_result
+
+MODES = ("none", "loopback", "full")
+
+
+def _uniform_bits(n, mode):
+    if mode == "none":
+        tree = rejection_tree([Leaf(i) for i in range(n)], coalesce="none")
+    else:
+        tree = uniform_tree(n, coalesce=mode)
+    return float(expected_bits(tree))
+
+
+def test_ablation_uniform(benchmark):
+    ranges = (3, 5, 6, 7, 12, 100, 200, 1000)
+    # The paper's Table 3 rows land inside the Knuth-Yao [H, H+2) band,
+    # but Zar's rejection construction is *not* entropy-optimal (the
+    # paper says so, Section 5): ranges with poor acceptance (5/8 for
+    # n = 5) exceed the band.  Assert the band only where the paper
+    # measured it; report membership everywhere.
+    paper_like = frozenset((6, 200, 1000))
+
+    def compute():
+        return {
+            n: {mode: _uniform_bits(n, mode) for mode in MODES}
+            for n in ranges
+        }
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        "Ablation: leaf coalescing (uniform_tree), exact E[flips]",
+        "%8s %10s %10s %10s %10s %8s"
+        % ("n", "entropy", "none", "loopback", "full", "KY band"),
+    ]
+    for n in ranges:
+        h = shannon_entropy(uniform_pmf(n))
+        row = table[n]
+        in_band = h <= row["loopback"] < h + 2
+        lines.append(
+            "%8d %10.3f %10.3f %10.3f %10.3f %8s"
+            % (n, h, row["none"], row["loopback"], row["full"],
+               "yes" if in_band else "NO")
+        )
+        # Coalescing only ever helps, and outcomes are distinct so
+        # loopback-merging is all "full" can do for uniform trees.
+        assert row["full"] <= row["loopback"] <= row["none"]
+        assert row["loopback"] == row["full"]
+        # Entropy lower bound is universal; the KY upper bound is not.
+        assert h <= row["loopback"]
+        if n in paper_like:
+            assert in_band
+    write_result("ablation_coalesce_uniform", "\n".join(lines))
+
+
+def test_ablation_bernoulli(benchmark):
+    biases = (
+        Fraction(2, 3), Fraction(4, 5), Fraction(1, 20), Fraction(7, 13),
+    )
+
+    def compute():
+        return {
+            p: {
+                mode: float(expected_bits(bernoulli_tree(p, coalesce=mode)))
+                for mode in MODES
+            }
+            for p in biases
+        }
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = [
+        "Ablation: leaf coalescing (bernoulli_tree), exact E[flips]",
+        "%8s %10s %10s %10s" % ("p", "none", "loopback", "full"),
+    ]
+    for p in biases:
+        row = table[p]
+        lines.append(
+            "%8s %10.3f %10.3f %10.3f"
+            % (p, row["none"], row["loopback"], row["full"])
+        )
+        assert row["full"] <= row["loopback"] <= row["none"]
+    # The dueling-coins consequence (Table 1's 12.0 vs the 9.0 that full
+    # coalescing would achieve at p = 2/3).
+    assert table[Fraction(2, 3)]["loopback"] == 8 / 3
+    assert table[Fraction(2, 3)]["full"] == 2.0
+    write_result("ablation_coalesce_bernoulli", "\n".join(lines))

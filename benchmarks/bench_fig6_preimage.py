@@ -1,0 +1,58 @@
+"""Figure 6: preimage intervals of {true} under the Bernoulli(2/3) sampler.
+
+Computes f_t^{-1}({true}) as a union of dyadic intervals (Section 4.2)
+and checks its measure converges to 2/3 -- the geometric series
+1/2 + 1/8 + 1/32 + ... of the paper's worked example (interval
+*positions* differ from Figure 6c because the artifact's tree keeps
+outcome copies; the measure is the same).
+"""
+
+from fractions import Fraction
+
+from repro.cftree.uniform import bernoulli_tree
+from repro.itree.unfold import tie_itree, to_itree_open
+from repro.sampler.preimage import preimage
+
+from benchmarks._common import write_result
+
+
+def test_fig6_preimage(benchmark):
+    sampler = tie_itree(to_itree_open(bernoulli_tree(Fraction(2, 3))))
+
+    def compute():
+        return preimage(sampler, lambda v: v is True, max_bits=26)
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert result.lower <= Fraction(2, 3) <= result.upper
+    assert result.upper - result.lower < Fraction(1, 2**12)
+
+    intervals = result.preimage.intervals()
+    lines = [
+        "Figure 6c: preimage of {true} under f_t(2/3)",
+        "  measure in [%.9f, %.9f]  (true: 2/3 = %.9f)"
+        % (float(result.lower), float(result.upper), 2 / 3),
+        "  first components:",
+    ]
+    for interval in intervals[:6]:
+        lines.append(
+            "    [%s, %s)  width %s"
+            % (interval.low, interval.high, interval.width)
+        )
+    lines.append("  total components at depth 26: %d" % len(intervals))
+    write_result("fig6_preimage", "\n".join(lines))
+
+
+def test_fig6_partition(benchmark):
+    """{true} and {false} preimages partition Cantor space up to the
+    measure-zero divergence set."""
+    sampler = tie_itree(to_itree_open(bernoulli_tree(Fraction(2, 3))))
+
+    def compute():
+        heads = preimage(sampler, lambda v: v is True, max_bits=24)
+        tails = preimage(sampler, lambda v: v is False, max_bits=24)
+        return heads, tails
+
+    heads, tails = benchmark.pedantic(compute, rounds=1, iterations=1)
+    covered = heads.lower + tails.lower
+    assert 1 - covered < Fraction(1, 2**10)
+    assert tails.lower <= Fraction(1, 3) <= tails.upper

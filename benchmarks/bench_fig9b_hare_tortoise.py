@@ -1,0 +1,68 @@
+"""Figure 9b: hare-and-tortoise posterior inference (Section 5.4).
+
+Paper values (100k samples):
+
+    P           mu_t0  sigma_t0  mu_bit    sigma_bit
+    true        4.49   2.87       193.88    220.06
+    time <= 10  3.80   2.79       273.87    378.82
+    time >= 10  6.18   2.31       596.68    359.85
+    time >= 20  6.40   2.25      1376.74    930.20
+
+Shape: conditioning on longer races shifts the posterior over the
+tortoise's head start upward and burns more entropy on rejections.
+"""
+
+import pytest
+
+from repro.lang.expr import Lit, Var
+from repro.lang.sugar import hare_tortoise
+from repro.sampler.harness import format_table, run_row
+
+from benchmarks._common import bench_samples, write_result
+
+CASES = [
+    ("true", Lit(True), 4, 4.49, 193.88),
+    ("time<=10", Var("time") <= 10, 6, 3.80, 273.87),
+    ("time>=10", Var("time") >= 10, 12, 6.18, 596.68),
+    ("time>=20", Var("time") >= 20, 25, 6.40, 1376.74),
+]
+
+
+@pytest.mark.parametrize("label,pred,weight,paper_mean,paper_bits", CASES,
+                         ids=[c[0] for c in CASES])
+def test_fig9b_row(benchmark, label, pred, weight, paper_mean, paper_bits):
+    program = hare_tortoise(pred)
+    n = bench_samples(weight)
+    row = benchmark.pedantic(
+        lambda: run_row(program, "t0", label, n=n, seed=59),
+        rounds=1, iterations=1,
+    )
+    assert abs(row.mean - paper_mean) < 0.4
+    assert abs(row.mean_bits - paper_bits) / paper_bits < 0.2
+    test_fig9b_row.rows = getattr(test_fig9b_row, "rows", []) + [row]
+
+
+def test_fig9b_shape_and_render(benchmark):
+    # Trivial benchmark call so --benchmark-only still runs the
+    # rendering (it would otherwise be skipped and the results/
+    # table not regenerated).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = getattr(test_fig9b_row, "rows", [])
+    if len(rows) == 4:
+        by_param = {row.param: row for row in rows}
+        # Longer races -> larger inferred head starts, more entropy.
+        assert by_param["time<=10"].mean < by_param["true"].mean
+        assert by_param["true"].mean < by_param["time>=10"].mean
+        assert by_param["time>=10"].mean <= by_param["time>=20"].mean + 0.3
+        assert (
+            by_param["true"].mean_bits
+            < by_param["time>=10"].mean_bits
+            < by_param["time>=20"].mean_bits
+        )
+    if rows:
+        text = format_table("Figure 9b: hare and tortoise", rows, "t0")
+        text += (
+            "\npaper: true 4.49/193.9 | t<=10 3.80/273.9 | "
+            "t>=10 6.18/596.7 | t>=20 6.40/1376.7"
+        )
+        write_result("fig9b_hare_tortoise", text)

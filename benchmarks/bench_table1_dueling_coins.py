@@ -1,0 +1,71 @@
+"""Table 1: dueling coins -- accuracy and entropy for p = 2/3, 4/5, 1/20.
+
+Paper values (100k samples):
+
+    p     mu_a  sigma_a  TV        KL        SMAPE     mu_bit  sigma_bit
+    2/3   0.50  0.50     2.02e-3   1.20e-5   2.02e-3    12.00   9.39
+    4/5   0.50  0.50     2.16e-3   1.30e-5   2.16e-3    27.59  23.49
+    1/20  0.50  0.50     2.83e-3   2.30e-5   2.83e-3   134.97 129.07
+
+The posterior is Bernoulli(1/2) regardless of p; mu_bit grows as p moves
+away from 1/2.  The *exact* expected bits of the compiled samplers are
+12, 27.5 and 2560/19 ~ 134.74, which we assert the sampled means match.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cftree.analysis import expected_bits
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.debias import debias
+from repro.cftree.elim import elim_choices
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins
+from repro.sampler.harness import format_table, run_row
+from repro.stats.distributions import bernoulli_pmf
+
+from benchmarks._common import bench_samples, write_result
+
+CASES = [
+    # (p, weight, paper mu_bit)
+    (Fraction(2, 3), 1, 12.0),
+    (Fraction(4, 5), 2, 27.59),
+    (Fraction(1, 20), 8, 134.97),
+]
+
+
+@pytest.mark.parametrize("p,weight,paper_bits", CASES,
+                         ids=["p=2/3", "p=4/5", "p=1/20"])
+def test_table1_row(benchmark, p, weight, paper_bits):
+    program = dueling_coins(p)
+    n = bench_samples(weight)
+    row = benchmark.pedantic(
+        lambda: run_row(
+            program, "a", "p=%s" % p,
+            true_pmf=bernoulli_pmf(Fraction(1, 2)), n=n, seed=17,
+        ),
+        rounds=1, iterations=1,
+    )
+    # Posterior over a is Bernoulli(1/2) for every bias.
+    assert abs(row.mean - 0.5) < 5.0 / (n ** 0.5)
+    # Entropy shape: sampled bits near the exact pipeline expectation,
+    # which in turn matches the paper's measured value.
+    exact = float(expected_bits(debias(elim_choices(compile_cpgcl(program, State())))))
+    assert abs(row.mean_bits - exact) / exact < 0.1
+    assert abs(exact - paper_bits) / paper_bits < 0.01
+    test_table1_row.rows = getattr(test_table1_row, "rows", []) + [row]
+
+
+def test_table1_render(benchmark):
+    # Trivial benchmark call so --benchmark-only still runs the
+    # rendering (it would otherwise be skipped and the results/
+    # table not regenerated).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = getattr(test_table1_row, "rows", [])
+    if rows:
+        text = format_table("Table 1: dueling coins", rows, var_name="a")
+        text += (
+            "\npaper: p=2/3 bits 12.00 | p=4/5 bits 27.59 | p=1/20 bits 134.97"
+        )
+        write_result("table1_dueling_coins", text)

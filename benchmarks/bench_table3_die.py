@@ -1,0 +1,68 @@
+"""Table 3: n-sided die -- accuracy and entropy for n = 6, 200, 10000.
+
+Paper values (100k samples):
+
+    n      mu_x     sigma_x  TV        KL        SMAPE     mu_bit  sigma_bit
+    6      3.49     1.71     3.86e-3   5.80e-5   3.87e-3    3.66   1.33
+    200    100.42   57.65    1.77e-2   1.36e-3   1.77e-2    9.01   2.18
+    10k    5011.87  2892.0   1.24e-1   7.33e-2   1.28e-1   15.62   2.74
+
+Near entropy-optimality: H = 2.59, 7.64, 13.29 and the samplers stay
+within the Knuth-Yao H+2 band.  The exact expected flips are 11/3, 9,
+and 15.619; sampled means must agree.
+"""
+
+import pytest
+
+from repro.cftree.analysis import expected_bits
+from repro.cftree.uniform import uniform_tree
+from repro.lang.sugar import n_sided_die
+from repro.sampler.harness import format_table, run_row
+from repro.stats.distributions import uniform_pmf
+from repro.stats.entropy import knuth_yao_bounds
+
+from benchmarks._common import bench_samples, write_result
+
+CASES = [
+    (6, 1, 3.66),
+    (200, 1, 9.01),
+    (10000, 2, 15.62),
+]
+
+
+@pytest.mark.parametrize("n,weight,paper_bits", CASES,
+                         ids=["n=6", "n=200", "n=10000"])
+def test_table3_row(benchmark, n, weight, paper_bits):
+    program = n_sided_die(n)
+    count = bench_samples(weight)
+    row = benchmark.pedantic(
+        lambda: run_row(
+            program, "x", "n=%d" % n,
+            true_pmf=uniform_pmf(n, start=1), n=count, seed=31,
+        ),
+        rounds=1, iterations=1,
+    )
+    expected_mean = (n + 1) / 2
+    assert abs(row.mean - expected_mean) / expected_mean < 0.05
+    exact_bits = float(expected_bits(uniform_tree(n)))
+    assert abs(row.mean_bits - exact_bits) < 0.15
+    assert abs(exact_bits - paper_bits) < 0.02
+    # "Near entropy-optimality" (Section 5.3): the entropy lower bound
+    # is universal, but the strict Knuth-Yao H+2 ceiling applies only to
+    # optimal DDG samplers -- the paper's own n=10000 row (15.62 bits,
+    # which we match exactly) sits 0.33 above H+2 = 15.29.
+    low, high = knuth_yao_bounds(uniform_pmf(n))
+    assert low <= exact_bits < high + 0.5
+    test_table3_row.rows = getattr(test_table3_row, "rows", []) + [row]
+
+
+def test_table3_render(benchmark):
+    # Trivial benchmark call so --benchmark-only still runs the
+    # rendering (it would otherwise be skipped and the results/
+    # table not regenerated).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = getattr(test_table3_row, "rows", [])
+    if rows:
+        text = format_table("Table 3: n-sided die", rows, var_name="x")
+        text += "\npaper: n=6 bits 3.66 | n=200 bits 9.01 | n=10k bits 15.62"
+        write_result("table3_die", text)

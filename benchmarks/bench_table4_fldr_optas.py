@@ -1,0 +1,119 @@
+"""Table 4: 200-sided die -- Zar vs FLDR vs OPTAS (Appendix B).
+
+Paper values (100k samples):
+
+    sampler      mu_x   TV        mu_bit  sigma_bit  T_init  T_s
+    Zar (OCaml)  99.43  1.91e-2   9.00    2.16       <1ms    105ms
+    Zar (Py)     99.87  1.95e-2   9.01    2.19       <1ms    292ms
+    FLDR (C)     99.39  1.96e-2   9.01    2.18       <1ms    6ms
+    FLDR (Py)    99.32  2.08e-2   9.00    2.16       <1ms    290ms
+    OPTAS (C)    99.50  1.85e-2   8.55    1.27       3ms     5ms
+    OPTAS (Py)   99.58  2.12e-2   8.55    1.27       15ms    330ms
+
+Shape to reproduce: all three sample a fair 200-die; Zar and FLDR use
+~9.0 bits per sample, OPTAS ~8.55 (trading a ~2^-32 approximation error
+for entropy); initialization is negligible for Zar/FLDR and larger for
+OPTAS.  Absolute times differ (our substrate is pure Python).
+"""
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.fldr import FLDRSampler
+from repro.baselines.optas import OptasSampler
+from repro.bits.source import CountingBits, SystemBits
+from repro.stats.divergence import tv_distance
+from repro.stats.empirical import empirical_pmf
+from repro.stats.distributions import uniform_pmf
+from repro.uniform.api import ZarUniform
+
+from benchmarks._common import bench_samples, write_result
+
+SIDES = 200
+_RESULTS = []
+
+
+def _run(name, make, draw, benchmark, expected_bits, bits_tolerance):
+    start = time.perf_counter()
+    sampler = make()
+    init_seconds = time.perf_counter() - start
+    source = CountingBits(SystemBits(99))
+    n = bench_samples()
+
+    def collect_all():
+        return [draw(sampler, source) for _ in range(n)]
+
+    start = time.perf_counter()
+    values = benchmark.pedantic(collect_all, rounds=1, iterations=1)
+    sample_seconds = time.perf_counter() - start
+    bits = source.count / n
+    tv = tv_distance(empirical_pmf(values), uniform_pmf(SIDES))
+    mean = sum(values) / len(values)
+    _RESULTS.append(
+        (name, mean, tv, bits, init_seconds * 1e3, sample_seconds * 1e3)
+    )
+    assert abs(mean - (SIDES - 1) / 2) < 6 * 57.7 / (n ** 0.5)
+    assert abs(bits - expected_bits) < bits_tolerance
+    return values
+
+
+def test_table4_zar(benchmark):
+    _run(
+        "Zar (Py, repro)",
+        lambda: ZarUniform(SIDES, validate=False),
+        lambda s, src: s.sample(src),
+        benchmark,
+        expected_bits=9.0,
+        bits_tolerance=0.2,
+    )
+
+
+def test_table4_fldr(benchmark):
+    _run(
+        "FLDR (Py, repro)",
+        lambda: FLDRSampler([1] * SIDES),
+        lambda s, src: s.sample(src),
+        benchmark,
+        expected_bits=9.0,
+        bits_tolerance=0.2,
+    )
+
+
+def test_table4_optas(benchmark):
+    _run(
+        "OPTAS (Py, repro)",
+        lambda: OptasSampler([Fraction(1, SIDES)] * SIDES, precision=32),
+        lambda s, src: s.sample(src),
+        benchmark,
+        expected_bits=8.55,
+        bits_tolerance=0.15,
+    )
+
+
+def test_table4_shape_and_render(benchmark):
+    # Trivial benchmark call so --benchmark-only still runs the
+    # rendering (it would otherwise be skipped and the results/
+    # table not regenerated).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_RESULTS) == 3, "runs above must populate results"
+    by_name = {name: row for name, *row in _RESULTS}
+    zar_bits = by_name["Zar (Py, repro)"][2]
+    fldr_bits = by_name["FLDR (Py, repro)"][2]
+    optas_bits = by_name["OPTAS (Py, repro)"][2]
+    # The Table 4 ordering: OPTAS < Zar ~ FLDR on entropy.
+    assert optas_bits < zar_bits
+    assert abs(zar_bits - fldr_bits) < 0.3
+    lines = [
+        "Table 4: 200-sided die comparison",
+        "%-18s %8s %10s %8s %10s %10s"
+        % ("sampler", "mu_x", "TV", "bits", "T_init ms", "T_s ms"),
+    ]
+    for name, mean, tv, bits, init_ms, sample_ms in _RESULTS:
+        lines.append(
+            "%-18s %8.2f %10.2e %8.2f %10.2f %10.1f"
+            % (name, mean, tv, bits, init_ms, sample_ms)
+        )
+    lines.append("paper: Zar 9.0 bits | FLDR 9.01 bits | OPTAS 8.55 bits")
+    write_result("table4_fldr_optas", "\n".join(lines))

@@ -1,0 +1,67 @@
+"""Table 8: discrete Gaussian N_Z(mu, sigma^2) for (0,1), (10,2), (-50,5).
+
+Paper values (100k samples):
+
+    mu,sigma  mu_z       sigma_z  TV        KL        SMAPE     mu_bit sigma_bit
+    0,1       -3.03e-3   1.0      2.71e-3   1.03e-4   4.49e-2   26.68  24.43
+    10,2      10.0       2.0      3.69e-3   1.16e-4   7.22e-2   37.61  29.10
+    -50,5     -50.01     5.01     6.11e-3   4.46e-4   5.70e-2   43.66  31.20
+
+Entropy depends only on sigma (the mean shift is free), which the rows
+exhibit.
+"""
+
+import pytest
+
+from repro.lang.sugar import gaussian
+from repro.sampler.harness import format_table, run_row
+from repro.stats.distributions import discrete_gaussian_pmf
+
+from benchmarks._common import bench_samples, write_result
+
+CASES = [
+    (0, 1, 1, 26.68),
+    (10, 2, 2, 37.61),
+    (-50, 5, 4, 43.66),
+]
+
+
+@pytest.mark.parametrize("mu,sigma,weight,paper_bits", CASES,
+                         ids=["0,1", "10,2", "-50,5"])
+def test_table8_row(benchmark, mu, sigma, weight, paper_bits):
+    program = gaussian("z", mu, sigma)
+    n = bench_samples(weight)
+    row = benchmark.pedantic(
+        lambda: run_row(
+            program, "z", "%d,%d" % (mu, sigma),
+            true_pmf=discrete_gaussian_pmf(mu, sigma), n=n, seed=47,
+        ),
+        rounds=1, iterations=1,
+    )
+    assert abs(row.mean - mu) < 6 * sigma / (n ** 0.5) + 0.05
+    assert abs(row.std - sigma) / sigma < 0.1
+    assert abs(row.mean_bits - paper_bits) / paper_bits < 0.15
+    test_table8_row.rows = getattr(test_table8_row, "rows", []) + [row]
+
+
+def test_table8_entropy_independent_of_mean():
+    rows = getattr(test_table8_row, "rows", [])
+    if len(rows) >= 2:
+        # sigma = 1 vs sigma = 2: more entropy for wider sigma; and the
+        # -50 shift costs bits only through sigma = 5, not the mean.
+        by_param = {row.param: row for row in rows}
+        assert by_param["0,1"].mean_bits < by_param["10,2"].mean_bits
+
+
+def test_table8_render(benchmark):
+    # Trivial benchmark call so --benchmark-only still runs the
+    # rendering (it would otherwise be skipped and the results/
+    # table not regenerated).
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = getattr(test_table8_row, "rows", [])
+    if rows:
+        text = format_table("Table 8: discrete Gaussian", rows, var_name="z")
+        text += (
+            "\npaper: (0,1) bits 26.68 | (10,2) bits 37.61 | (-50,5) bits 43.66"
+        )
+        write_result("table8_gaussian", text)

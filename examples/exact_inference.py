@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Exact inference with certified interval bounds (repro.inference).
+
+The paper's pipeline answers posterior queries by *sampling*; Section 6
+notes that exact inference is unsupported.  This example shows the
+extension that closes that gap: best-first path enumeration of the
+compiled CF tree with exact rational mass bookkeeping, producing
+posterior bounds that are *guaranteed* to contain the true posterior --
+no sampling noise, no convergence diagnostics.
+
+Three scenarios, in increasing order of difficulty for enumeration:
+
+1. the n-sided die (bounded rejection loop);
+2. geometric primes (unbounded non-i.i.d. loop + conditioning), where
+   the bounds contract geometrically and are compared against both the
+   closed-form pmf and a sampling run;
+3. a program that diverges with probability 1/2, where the slack
+   provably cannot contract below the divergence mass -- bounds report
+   exactly what is knowable.
+"""
+
+from fractions import Fraction
+
+from repro import (
+    Assign,
+    Choice,
+    Seq,
+    Skip,
+    State,
+    Var,
+    While,
+    collect,
+    cpgcl_to_itree,
+    geometric_primes,
+    infer_posterior,
+    n_sided_die,
+    refine_until,
+)
+from repro.stats.distributions import geometric_primes_pmf
+
+
+def die_bounds() -> None:
+    print("=== 1. six-sided die: bounds contract around 1/6 ===")
+    for budget in (50, 500, 5000):
+        posterior = infer_posterior(n_sided_die(6), max_expansions=budget)
+        bounds = posterior.marginal("x").get(1)
+        if bounds is None:
+            print("budget %5d: outcome 1 not discovered yet" % budget)
+            continue
+        print(
+            "budget %5d: P(x=1) in [%.6f, %.6f]  (width %.2e)"
+            % (budget, bounds.lo, bounds.hi, bounds.width)
+        )
+    print()
+
+
+def primes_bounds() -> None:
+    print("=== 2. geometric primes (p=2/3): bounds vs closed form vs sampling ===")
+    program = geometric_primes(Fraction(2, 3))
+    posterior = refine_until(program, Fraction(1, 10**6))
+    closed = geometric_primes_pmf(Fraction(2, 3))
+    samples = collect(
+        cpgcl_to_itree(program, State()), 5000, seed=11,
+        extract=lambda s: s["h"],
+    )
+    counts = samples.counts()
+    marginal = posterior.marginal("h")
+    print("  h   bounds [lo, hi]             closed-form   empirical(5k)")
+    for h in (2, 3, 5, 7, 11, 13):
+        bounds = marginal[h]
+        print(
+            "  %-3d [%.8f, %.8f]   %.8f    %.4f"
+            % (h, bounds.lo, bounds.hi, closed[h], counts.get(h, 0) / len(samples))
+        )
+    print("  slack (unresolved mass): %.2e" % posterior.slack)
+    print("  every closed-form value lies inside its bounds: %s" % all(
+        marginal[h].contains_float(closed[h], slack=1e-9)
+        for h in (2, 3, 5, 7, 11, 13)
+    ))
+    print()
+
+
+def divergence_bounds() -> None:
+    print("=== 3. divergence: slack is honest about what is unknowable ===")
+    # With probability 1/2 enter an infinite loop; otherwise x := 1.
+    program = Choice(
+        Fraction(1, 2),
+        Seq(Assign("spin", True), While(Var("spin"), Skip())),
+        Assign("x", 1),
+    )
+    for budget in (10, 100, 1000):
+        posterior = infer_posterior(program, max_expansions=budget)
+        print(
+            "budget %4d: slack %.4f (floor 0.5 = divergence mass)"
+            % (budget, posterior.slack)
+        )
+    print()
+
+
+def main() -> None:
+    die_bounds()
+    primes_bounds()
+    divergence_bounds()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Inspecting a loop's Markov chain and running time.
+
+Demonstrates the exact-analysis side of the library: extract the
+finite-state Markov chain of the dueling-coins loop, query its exact
+termination probability / expected iterations / exit distribution, and
+compute the program's expected running time (the ert transformer) and
+the compiled sampler's exact expected bit consumption.
+"""
+
+from fractions import Fraction
+
+from repro import State, compile_cpgcl, debias, dueling_coins, elim_choices
+from repro.cftree.analysis import expected_bits
+from repro.cftree.viz import render_cftree
+from repro.semantics.chain import extract_chain
+from repro.semantics.ert import ert
+
+
+def main() -> None:
+    p = Fraction(2, 3)
+    program = dueling_coins(p)
+    loop = program.second.second  # a := false; b := false; <loop>
+
+    print("Dueling coins (p = %s): the loop's Markov chain\n" % p)
+    chain = extract_chain(loop, State(a=False, b=False))
+    print("reachable loop states: %d" % len(chain.states))
+    for state in chain.states:
+        continues = sum(chain.transitions[state].values(), Fraction(0))
+        print("  %s  P(stay) = %s" % (state, continues))
+    print("termination probability: %s" % chain.termination_probability())
+    print("expected iterations:     %s" % chain.expected_iterations())
+    print("exit distribution:")
+    for state, probability in sorted(
+        chain.exit_distribution().items(), key=str
+    ):
+        print("  %s : %s" % (state, probability))
+
+    print("\nCost analyses:")
+    print("  expected running time (ert, source steps): %s"
+          % ert(program, sigma=State()))
+    tree = debias(elim_choices(compile_cpgcl(program, State())))
+    print("  expected random bits (compiled sampler):   %s"
+          % expected_bits(tree))
+
+    print("\nDebiased Bernoulli(2/3) building block:")
+    from repro.cftree.uniform import bernoulli_tree
+
+    print(render_cftree(bernoulli_tree(p), unfold_fix=True))
+
+
+if __name__ == "__main__":
+    main()

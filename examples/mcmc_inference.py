@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Trace MCMC vs the verified rejection pipeline (repro.mcmc).
+
+The paper's Section 1.3 plans MCMC compilation to curb the entropy cost
+of rejection sampling under low-probability conditioning: Table 2 shows
+``primes(1/5)`` paying ~142 fair bits per sample because most attempts
+fail the primality observation.  This example runs both samplers on that
+exact program and compares:
+
+- posterior accuracy against the exact cwp posterior,
+- fair bits consumed per sample,
+- and, for the MCMC side, the diagnostics an honest comparison needs
+  (acceptance rate, effective sample size, R-hat across chains) --
+  rejection samples are i.i.d. and certified by Theorem 4.2; MCMC
+  samples are correlated and certificate-free.
+"""
+
+from collections import Counter
+from fractions import Fraction
+
+from repro import State, collect, cpgcl_to_itree, cwp, geometric_primes
+from repro.mcmc import MHSampler, effective_sample_size, gelman_rubin
+
+P = Fraction(1, 5)
+N = 4000
+
+
+def exact_posterior(program, support):
+    sigma = State()
+    return {
+        h: float(cwp(program, lambda s, h=h: 1 if s["h"] == h else 0, sigma))
+        for h in support
+    }
+
+
+def main() -> None:
+    program = geometric_primes(P)
+    support = (2, 3, 5, 7)
+    exact = exact_posterior(program, support)
+    print("Exact posterior over h (cwp):",
+          {h: round(v, 4) for h, v in exact.items()})
+    print()
+
+    # --- verified rejection pipeline -------------------------------------
+    samples = collect(
+        cpgcl_to_itree(program, State()), N, seed=1,
+        extract=lambda s: s["h"],
+    )
+    counts = samples.counts()
+    print("Rejection sampler (verified pipeline):")
+    print("  empirical:",
+          {h: round(counts.get(h, 0) / N, 4) for h in support})
+    print("  bits/sample: %.1f  (paper Table 2: 142.51 at p=1/5)"
+          % samples.mean_bits())
+    print()
+
+    # --- trace MCMC -------------------------------------------------------
+    chain = MHSampler(program, seed=2).run(N, burn_in=500)
+    mc_counts = Counter(chain.extract("h"))
+    print("Single-site trace MH (extension):")
+    print("  empirical:",
+          {h: round(mc_counts.get(h, 0) / N, 4) for h in support})
+    print("  bits/sample: %.1f   acceptance: %.2f"
+          % (chain.bits_per_sample(), chain.acceptance_rate()))
+    ess = effective_sample_size([float(h) for h in chain.extract("h")])
+    print("  effective sample size: %.0f of %d (correlated draws)"
+          % (ess, N))
+
+    chains = [
+        [float(h) for h in MHSampler(program, seed=seed).run(
+            1000, burn_in=200).extract("h")]
+        for seed in (11, 12, 13, 14)
+    ]
+    print("  R-hat over 4 chains: %.4f (≈1 means mixed)"
+          % gelman_rubin(chains))
+    print()
+    print("Shape: MCMC cuts bits/sample by an order of magnitude under")
+    print("rare conditioning, at the price of correlation (ESS < n) and")
+    print("no equidistribution certificate -- exactly the trade the")
+    print("paper's future-work section anticipates.")
+
+
+if __name__ == "__main__":
+    main()

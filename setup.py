@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment has setuptools but no ``wheel`` package (and no network),
+so PEP 660 editable installs are unavailable; this file enables
+``pip install -e . --no-build-isolation`` via the legacy setup.py path.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

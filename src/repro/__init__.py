@@ -1,0 +1,148 @@
+"""Zar reproduction: formally specified samplers from probabilistic programs.
+
+A from-scratch Python reproduction of *Formally Verified Samplers from
+Probabilistic Programs with Loops and Conditioning* (PLDI 2023): the cpGCL
+language and its conditional weakest pre-expectation semantics, the
+choice-fix tree intermediate representation, debiasing to the random bit
+model, interaction-tree samplers, and the empirical-validation harness.
+
+Quickstart::
+
+    from fractions import Fraction
+    from repro import (
+        State, cpgcl_to_itree, collect, cwp, geometric_primes, parse_program,
+    )
+
+    prog = geometric_primes(Fraction(2, 3))       # Figure 1a
+    sampler = cpgcl_to_itree(prog, State())        # Definition 3.13
+    samples = collect(sampler, 10000, seed=0, extract=lambda s: s["h"])
+    exact = cwp(prog, lambda s: 1 if s["h"] == 2 else 0, State())
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from repro.lang import (
+    Assign,
+    Choice,
+    Command,
+    Expr,
+    Ite,
+    Lit,
+    Observe,
+    Seq,
+    Skip,
+    State,
+    Uniform,
+    Var,
+    While,
+    bernoulli_exponential,
+    bernoulli_exponential_0_1,
+    check_program,
+    dueling_coins,
+    flip,
+    gaussian,
+    geometric_primes,
+    hare_tortoise,
+    laplace,
+    n_sided_die,
+    parse_expr,
+    parse_program,
+    pretty,
+    seq,
+)
+from repro.semantics import (
+    ExtReal,
+    LoopOptions,
+    cwp,
+    wlp,
+    wp,
+)
+from repro.cftree import (
+    bernoulli_tree,
+    compile_cpgcl,
+    debias,
+    elim_choices,
+    expected_bits,
+    tcwp,
+    twlp,
+    twp,
+    uniform_tree,
+)
+from repro.itree import cpgcl_to_itree, itwp, itwp_tied, tie_itree, to_itree_open
+from repro.sampler import collect, preimage, run_itree, run_row
+from repro.uniform import ZarUniform
+from repro.bits import CountingBits, ReplayBits, SystemBits
+from repro.inference import (
+    Interval,
+    Posterior,
+    infer_posterior,
+    infer_query,
+    refine_until,
+)
+from repro.mcmc import MHSampler
+
+__all__ = [
+    "Assign",
+    "Choice",
+    "Command",
+    "CountingBits",
+    "Expr",
+    "ExtReal",
+    "Interval",
+    "Ite",
+    "Lit",
+    "LoopOptions",
+    "MHSampler",
+    "Observe",
+    "Posterior",
+    "ReplayBits",
+    "Seq",
+    "Skip",
+    "State",
+    "SystemBits",
+    "Uniform",
+    "Var",
+    "While",
+    "ZarUniform",
+    "bernoulli_exponential",
+    "bernoulli_exponential_0_1",
+    "bernoulli_tree",
+    "check_program",
+    "collect",
+    "compile_cpgcl",
+    "cpgcl_to_itree",
+    "cwp",
+    "debias",
+    "dueling_coins",
+    "elim_choices",
+    "expected_bits",
+    "flip",
+    "gaussian",
+    "geometric_primes",
+    "hare_tortoise",
+    "infer_posterior",
+    "infer_query",
+    "itwp",
+    "itwp_tied",
+    "laplace",
+    "n_sided_die",
+    "parse_expr",
+    "parse_program",
+    "preimage",
+    "pretty",
+    "refine_until",
+    "run_itree",
+    "run_row",
+    "seq",
+    "tcwp",
+    "tie_itree",
+    "to_itree_open",
+    "twlp",
+    "twp",
+    "uniform_tree",
+    "wlp",
+    "wp",
+]

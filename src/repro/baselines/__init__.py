@@ -1,0 +1,33 @@
+"""Baseline samplers (Appendix B).
+
+Comparators for the Table 4 evaluation, implemented from their
+publications:
+
+- :mod:`repro.baselines.fldr` -- the Fast Loaded Dice Roller (Saad et
+  al., AISTATS 2020): exact sampling from rational pmfs via a binary DDG
+  matrix;
+- :mod:`repro.baselines.knuth_yao` -- the entropy-optimal DDG tree
+  sampler (Knuth and Yao 1976), the optimality reference;
+- :mod:`repro.baselines.optas` -- optimal *approximate* sampling under a
+  bit-precision budget (Saad et al., POPL 2020): closest synthetic
+  equivalent, pairing an error-optimal dyadic approximation with a
+  Knuth-Yao sampler (see DESIGN.md's substitution table);
+- :mod:`repro.baselines.rejection` -- textbook rejection sampling and
+  the *modulo-biased* sampler the introduction warns about.
+"""
+
+from repro.baselines.fldr import FLDRSampler
+from repro.baselines.han_hoshi import HanHoshiSampler
+from repro.baselines.knuth_yao import KnuthYaoSampler
+from repro.baselines.optas import OptasSampler, optimal_dyadic_approximation
+from repro.baselines.rejection import ModuloBiasedSampler, RejectionSampler
+
+__all__ = [
+    "FLDRSampler",
+    "HanHoshiSampler",
+    "KnuthYaoSampler",
+    "ModuloBiasedSampler",
+    "OptasSampler",
+    "RejectionSampler",
+    "optimal_dyadic_approximation",
+]

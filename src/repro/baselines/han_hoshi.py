@@ -1,0 +1,89 @@
+"""The Han-Hoshi interval sampler (Han and Hoshi 1997).
+
+A third classical algorithm in the random bit model, complementing
+Knuth-Yao (entropy-optimal DDG trees) and FLDR: maintain the target
+distribution as a partition of [0, 1) into consecutive intervals (one
+per outcome, width = probability); refine a dyadic interval bit by bit
+and emit the outcome whose interval contains it.  Expected bit cost is
+below ``H + 3`` -- between Knuth-Yao's ``H + 2`` and FLDR's ``H + 6``.
+
+Included because it exercises a *different* reduction to fair coins
+(interval arithmetic rather than tree walks), giving the comparison
+benchmarks a third independent point in the entropy/space trade-off.
+"""
+
+from fractions import Fraction
+from typing import Dict, List, Sequence
+
+from repro.bits.source import BitSource
+
+
+class HanHoshiSampler:
+    """Exact interval-refinement sampler for rational pmfs."""
+
+    def __init__(self, probabilities: Sequence[Fraction]):
+        probs = [Fraction(p) for p in probabilities]
+        if any(p < 0 for p in probs):
+            raise ValueError("probabilities must be nonnegative")
+        if sum(probs) != 1:
+            raise ValueError("probabilities must sum to 1 exactly")
+        self.probabilities = probs
+        # Cumulative boundaries: outcome i owns [bounds[i], bounds[i+1]).
+        self._bounds: List[Fraction] = [Fraction(0)]
+        for p in probs:
+            self._bounds.append(self._bounds[-1] + p)
+
+    def _locate(self, low: Fraction, high: Fraction):
+        """Index of the outcome interval containing [low, high), or None
+        if the dyadic interval still straddles a boundary."""
+        # Binary search for the rightmost boundary <= low.
+        lo, hi = 0, len(self._bounds) - 1
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if self._bounds[mid] <= low:
+                lo = mid
+            else:
+                hi = mid
+        if high <= self._bounds[lo + 1]:
+            return lo
+        return None
+
+    def sample(self, source: BitSource) -> int:
+        low = Fraction(0)
+        width = Fraction(1)
+        while True:
+            outcome = self._locate(low, low + width)
+            if outcome is not None:
+                return outcome
+            width /= 2
+            if source.next_bit():
+                low += width
+
+    def pmf(self) -> Dict[int, Fraction]:
+        return {
+            index: p for index, p in enumerate(self.probabilities) if p
+        }
+
+    def expected_bits(self, max_depth: int = 96) -> float:
+        """Expected bits, by exact traversal of the refinement tree.
+
+        Enumerates dyadic intervals breadth-first; an interval that fits
+        inside one outcome interval terminates its branch.
+        """
+        total = 0.0
+        pending = [(Fraction(0), Fraction(1))]
+        for depth in range(max_depth):
+            next_pending = []
+            for low, width in pending:
+                half = width / 2
+                for branch_low in (low, low + half):
+                    if self._locate(branch_low, branch_low + half) is None:
+                        next_pending.append((branch_low, half))
+                    else:
+                        total += (depth + 1) * float(half)
+            if not next_pending:
+                return total
+            pending = next_pending
+        # Remaining mass terminates deeper; bound crudely.
+        remaining = sum(float(w) for _low, w in pending)
+        return total + remaining * (max_depth + 3)

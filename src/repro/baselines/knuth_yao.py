@@ -1,0 +1,85 @@
+"""The entropy-optimal Knuth-Yao DDG sampler (Knuth and Yao 1976).
+
+For a target pmf with dyadic probabilities ``p_i = sum_j b_ij 2^-j``,
+the optimal sampler is the discrete distribution generating tree whose
+level ``j`` has one terminal leaf per outcome with ``b_ij = 1``; its
+expected bit consumption lies in ``[H, H + 2)``.  Rational non-dyadic
+probabilities unfold their binary expansions lazily (eventually-periodic,
+so level patterns are memoized by remainder state).
+
+This is the optimality reference against which the Zar pipeline and FLDR
+are measured, and the sampling back end of the OPTAS substitute.
+"""
+
+from fractions import Fraction
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bits.source import BitSource
+
+
+class KnuthYaoSampler:
+    """Entropy-optimal sampler for rational pmfs in the bit model."""
+
+    def __init__(self, probabilities: Sequence[Fraction]):
+        probs = [Fraction(p) for p in probabilities]
+        if any(p < 0 for p in probs):
+            raise ValueError("probabilities must be nonnegative")
+        if sum(probs) != 1:
+            raise ValueError("probabilities must sum to 1 exactly")
+        self.probabilities = probs
+        # Binary-expansion state per outcome: remainder r with invariant
+        # "remaining probability mass at level j is r * 2^-j".
+        self._levels: List[List[int]] = []
+        self._remainders: List[Fraction] = list(probs)
+
+    def _level(self, depth: int) -> List[int]:
+        """Outcomes with a terminal at this depth (bit of expansion = 1)."""
+        while depth >= len(self._levels):
+            level: List[int] = []
+            for index, remainder in enumerate(self._remainders):
+                doubled = remainder * 2
+                if doubled >= 1:
+                    level.append(index)
+                    doubled -= 1
+                self._remainders[index] = doubled
+            self._levels.append(level)
+        return self._levels[depth]
+
+    def sample(self, source: BitSource) -> int:
+        """Draw one outcome index (0-based)."""
+        depth = 0
+        position = 0
+        while True:
+            position = 2 * position + (1 if source.next_bit() else 0)
+            leaves = self._level(depth)
+            if position < len(leaves):
+                return leaves[position]
+            position -= len(leaves)
+            depth += 1
+            if depth > 64 and not any(self._remainders):
+                raise AssertionError("Knuth-Yao walk escaped the DDG tree")
+
+    def pmf(self) -> Dict[int, Fraction]:
+        return {
+            index: p for index, p in enumerate(self.probabilities) if p
+        }
+
+    def expected_bits(self, max_depth: int = 128) -> Tuple[float, float]:
+        """Bracket the expected bits per sample.
+
+        Level ``j`` contributes ``j * (#terminals at j) * 2^-j``; the
+        truncated tail is bounded using the total remaining mass.
+        """
+        total = 0.0
+        mass_remaining = 1.0
+        for depth in range(max_depth):
+            leaves = self._level(depth)
+            contribution = (depth + 1) * len(leaves) * 2.0 ** -(depth + 1)
+            total += contribution
+            mass_remaining -= len(leaves) * 2.0 ** -(depth + 1)
+            if mass_remaining <= 0:
+                return total, total
+        # Remaining mass terminates at depth > max_depth; crude tail bound
+        # assuming geometric continuation.
+        tail = mass_remaining * (max_depth + 2)
+        return total, total + tail

@@ -1,0 +1,142 @@
+"""Optimal approximate sampling under an entropy budget (OPTAS).
+
+Saad et al. (POPL 2020) sample from the *closest approximation* of a
+target distribution among those realizable by a DDG tree of a given bit
+precision ``k``: all outcome probabilities are dyadic with denominator
+``2^k``.  This module implements the closest synthetic equivalent (see
+DESIGN.md): :func:`optimal_dyadic_approximation` computes an
+error-minimal dyadic approximation for a family of f-divergence-style
+error measures (including the paper's "hellinger" kernel), and
+:class:`OptasSampler` samples it with the entropy-optimal Knuth-Yao back
+end -- reproducing OPTAS's observable Table 4 behavior: slightly lower
+entropy cost than the exact samplers, at the price of a small, explicit
+approximation error.
+
+The approximation algorithm follows the structure of the original: start
+from the floor allocation ``floor(p_i * 2^k)`` and distribute the
+remaining probability mass greedily to the outcomes where it reduces the
+chosen error measure the most.
+"""
+
+import heapq
+import math
+from fractions import Fraction
+from typing import Callable, Dict, List, Sequence
+
+from repro.baselines.knuth_yao import KnuthYaoSampler
+from repro.bits.source import BitSource
+
+
+def _hellinger_gain(p: float, current: float, step: float) -> float:
+    """Reduction in squared Hellinger distance from adding ``step``."""
+    before = (math.sqrt(p) - math.sqrt(current)) ** 2
+    after = (math.sqrt(p) - math.sqrt(current + step)) ** 2
+    return before - after
+
+
+def _tv_gain(p: float, current: float, step: float) -> float:
+    before = abs(p - current)
+    after = abs(p - (current + step))
+    return before - after
+
+
+def _kl_gain(p: float, current: float, step: float) -> float:
+    if p == 0.0:
+        return 0.0
+    eps = 1e-300
+    before = p * math.log(p / max(current, eps))
+    after = p * math.log(p / (current + step))
+    return before - after
+
+
+_KERNELS: Dict[str, Callable[[float, float, float], float]] = {
+    "hellinger": _hellinger_gain,
+    "tv": _tv_gain,
+    "kl": _kl_gain,
+}
+
+
+def optimal_dyadic_approximation(
+    probabilities: Sequence[Fraction],
+    precision: int,
+    kernel: str = "hellinger",
+) -> List[Fraction]:
+    """Error-minimal pmf with all probabilities of the form ``c / 2^k``.
+
+    Floor-allocates ``floor(p_i 2^k)`` grains, then assigns the leftover
+    grains one at a time to the outcome with the largest marginal error
+    reduction (greedy is optimal here: the error measures are convex and
+    separable across outcomes, so marginal gains are decreasing).
+    """
+    if precision <= 0:
+        raise ValueError("precision must be a positive bit count")
+    if kernel not in _KERNELS:
+        raise ValueError(
+            "unknown kernel %r (have %s)" % (kernel, sorted(_KERNELS))
+        )
+    gain = _KERNELS[kernel]
+    probs = [Fraction(p) for p in probabilities]
+    if sum(probs) != 1:
+        raise ValueError("probabilities must sum to 1")
+    grains = 1 << precision
+    step = 1.0 / grains
+    allocation = [int(p * grains) for p in probs]  # floor
+    remaining = grains - sum(allocation)
+    # Max-heap of (negated) marginal gains.
+    heap = []
+    for index, p in enumerate(probs):
+        current = allocation[index] * step
+        heapq.heappush(
+            heap, (-gain(float(p), current, step), index)
+        )
+    for _ in range(remaining):
+        while True:
+            negated, index = heapq.heappop(heap)
+            current = allocation[index] * step
+            fresh = gain(float(probs[index]), current, step)
+            # Lazy deletion: the cached priority may be stale after a
+            # previous grant to the same outcome.
+            if -negated - fresh > 1e-15:
+                heapq.heappush(heap, (-fresh, index))
+                continue
+            allocation[index] += 1
+            heapq.heappush(
+                heap,
+                (-gain(float(probs[index]), allocation[index] * step, step), index),
+            )
+            break
+    return [Fraction(count, grains) for count in allocation]
+
+
+class OptasSampler:
+    """Optimal approximate sampler: dyadic approximation + Knuth-Yao."""
+
+    def __init__(
+        self,
+        probabilities: Sequence[Fraction],
+        precision: int = 32,
+        kernel: str = "hellinger",
+    ):
+        self.target = [Fraction(p) for p in probabilities]
+        self.precision = precision
+        self.kernel = kernel
+        self.approximation = optimal_dyadic_approximation(
+            self.target, precision, kernel
+        )
+        self._sampler = KnuthYaoSampler(self.approximation)
+
+    def sample(self, source: BitSource) -> int:
+        return self._sampler.sample(source)
+
+    def pmf(self) -> Dict[int, Fraction]:
+        """The (approximate) distribution actually sampled."""
+        return {
+            index: p for index, p in enumerate(self.approximation) if p
+        }
+
+    def approximation_error_tv(self) -> float:
+        """Total variation distance between target and approximation."""
+        return 0.5 * sum(
+            abs(float(p) - float(q))
+            for p, q in zip(self.target, self.approximation)
+        )

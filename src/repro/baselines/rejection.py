@@ -1,0 +1,77 @@
+"""Textbook uniform samplers: correct rejection and the modulo-bias bug.
+
+The introduction motivates verified sampling with the "modulo bias"
+failure: drawing ``w`` random bits and reducing mod ``n`` over-weights
+the small outcomes whenever ``2^w mod n != 0``, which has broken
+deployed cryptosystems.  :class:`ModuloBiasedSampler` implements the bug
+(for demonstrations and tests that *detect* the bias);
+:class:`RejectionSampler` is the standard correct fix.
+"""
+
+from fractions import Fraction
+from typing import Dict
+
+from repro.bits.source import BitSource
+
+
+class RejectionSampler:
+    """Uniform over ``{0..n-1}``: draw ``ceil(log2 n)`` bits, retry if
+    the value is out of range.  Exact, at an expected
+    ``ceil(log2 n) * 2^m / n`` bits per sample."""
+
+    def __init__(self, n: int):
+        if n <= 0:
+            raise ValueError("need a positive range")
+        self.n = n
+        self.width = max(1, (n - 1).bit_length())
+
+    def sample(self, source: BitSource) -> int:
+        while True:
+            value = 0
+            for _ in range(self.width):
+                value = (value << 1) | (1 if source.next_bit() else 0)
+            if value < self.n:
+                return value
+
+    def pmf(self) -> Dict[int, Fraction]:
+        return {i: Fraction(1, self.n) for i in range(self.n)}
+
+
+class ModuloBiasedSampler:
+    """The *incorrect* uniform sampler: ``w`` bits reduced mod ``n``.
+
+    Outcomes below ``2^w mod n`` receive probability
+    ``ceil(2^w / n) / 2^w``, the rest ``floor(2^w / n) / 2^w`` -- a bias
+    of order ``n / 2^w`` that empirical validation can easily miss for
+    large ``w`` (Section 1's motivating example).  ``pmf`` returns the
+    *actual* biased distribution so tests can quantify the error.
+    """
+
+    def __init__(self, n: int, width: int):
+        if n <= 0:
+            raise ValueError("need a positive range")
+        if width <= 0:
+            raise ValueError("need a positive bit width")
+        self.n = n
+        self.width = width
+
+    def sample(self, source: BitSource) -> int:
+        value = 0
+        for _ in range(self.width):
+            value = (value << 1) | (1 if source.next_bit() else 0)
+        return value % self.n
+
+    def pmf(self) -> Dict[int, Fraction]:
+        space = 1 << self.width
+        quotient, remainder = divmod(space, self.n)
+        return {
+            i: Fraction(quotient + (1 if i < remainder else 0), space)
+            for i in range(self.n)
+        }
+
+    def bias_tv(self) -> Fraction:
+        """Exact total-variation distance from true uniform."""
+        uniform = Fraction(1, self.n)
+        return sum(
+            (abs(p - uniform) for p in self.pmf().values()), Fraction(0)
+        ) / 2

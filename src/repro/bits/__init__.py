@@ -1,0 +1,49 @@
+"""The source of randomness (Section 4.1).
+
+Samplers in the random bit model consume a stream of i.i.d. fair bits.
+This subpackage provides the bit-source abstraction used by the driver
+(PRNG-backed, replayable, counting, and exhaustible sources), bitstring
+utilities, the measure space on Cantor space ``2^N`` (basic sets,
+dyadic intervals, Sigma^0_1 unions), and empirical checks of
+Sigma^0_1-uniform-distribution (Definition 4.1).
+"""
+
+from repro.bits.source import (
+    BitSource,
+    BitsExhausted,
+    ConstantBits,
+    CountingBits,
+    ReplayBits,
+    StreamBits,
+    SystemBits,
+)
+from repro.bits.streams import (
+    bits_to_fraction,
+    bits_to_int,
+    int_to_bits,
+    is_prefix,
+)
+from repro.bits.measure import BasicSet, DyadicInterval, Sigma01
+from repro.bits.equidist import (
+    empirical_discrepancy,
+    star_discrepancy,
+)
+
+__all__ = [
+    "BasicSet",
+    "BitSource",
+    "BitsExhausted",
+    "ConstantBits",
+    "CountingBits",
+    "DyadicInterval",
+    "ReplayBits",
+    "Sigma01",
+    "StreamBits",
+    "SystemBits",
+    "bits_to_fraction",
+    "bits_to_int",
+    "empirical_discrepancy",
+    "int_to_bits",
+    "is_prefix",
+    "star_discrepancy",
+]

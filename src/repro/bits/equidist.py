@@ -1,0 +1,59 @@
+"""Empirical uniform-distribution checks (Definition 4.1).
+
+A sequence of bitstreams is Sigma^0_1-uniformly distributed when the
+relative frequency of landing in any Sigma^0_1 set converges to its
+measure.  Testing all such sets is impossible; we provide
+
+- :func:`empirical_discrepancy` -- max deviation |freq - measure| over a
+  given finite family of Sigma^0_1 sets (the sampler's own preimage sets
+  are the natural family, per Section 4.2), and
+- :func:`star_discrepancy` -- the classical D* statistic of the induced
+  points in [0, 1] (bitstreams map to reals via the bisection scheme),
+  the standard quantitative measure of equidistribution; a u.d. sequence
+  has D*_n -> 0, with expected O(sqrt(log log n / n)) fluctuation for
+  i.i.d. uniforms.
+"""
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence
+
+from repro.bits.measure import Sigma01
+from repro.bits.streams import bits_to_fraction
+
+
+def empirical_discrepancy(
+    streams: Sequence[Sequence[bool]],
+    sets: Iterable[Sigma01],
+) -> Fraction:
+    """Max |relative frequency - measure| over the given test sets."""
+    n = len(streams)
+    if n == 0:
+        raise ValueError("need at least one bitstream")
+    worst = Fraction(0)
+    for test_set in sets:
+        hits = sum(1 for stream in streams if test_set.contains(stream))
+        deviation = abs(Fraction(hits, n) - test_set.measure)
+        worst = max(worst, deviation)
+    return worst
+
+
+def star_discrepancy(points: Sequence[float]) -> float:
+    """Exact star discrepancy D*_n of points in [0, 1].
+
+    D*_n = sup_t |#{x_i < t}/n - t|; the supremum is attained at the
+    sample points, giving the classical O(n log n) formula
+    ``max_i max(i/n - x_(i), x_(i) - (i-1)/n)``.
+    """
+    n = len(points)
+    if n == 0:
+        raise ValueError("need at least one point")
+    ordered = sorted(points)
+    worst = 0.0
+    for i, x in enumerate(ordered, start=1):
+        worst = max(worst, i / n - x, x - (i - 1) / n)
+    return worst
+
+
+def streams_to_points(streams: Sequence[Sequence[bool]]) -> List[float]:
+    """Map bitstream prefixes to unit-interval points (bisection)."""
+    return [float(bits_to_fraction(stream)) for stream in streams]

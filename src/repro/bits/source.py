@@ -1,0 +1,111 @@
+"""Bit sources: the environment half of the ``GetBool`` event.
+
+The OCaml shim of Figure 7 answers each ``VisF`` node with
+``Random.bool ()``; these classes are the Python equivalents, plus the
+instrumentation the evaluation needs:
+
+- :class:`SystemBits` -- PRNG-backed (``random.Random``), the default;
+- :class:`CountingBits` -- wraps any source and meters consumption (the
+  ``mu_bit``/``sigma_bit`` columns of the paper's tables);
+- :class:`ReplayBits` -- a finite, deterministic prefix; exhaustion
+  raises :class:`BitsExhausted` (used to map samplers over Cantor-space
+  prefixes and by the preimage computation);
+- :class:`StreamBits` -- adapts any Python iterator of bits;
+- :class:`ConstantBits` -- all-zeros / all-ones, for divergence tests.
+"""
+
+import random
+from typing import Iterable, Iterator, List, Optional
+
+
+class BitsExhausted(Exception):
+    """A finite bit source ran out of bits."""
+
+
+class BitSource:
+    """Interface: ``next_bit()`` returns the next fair bit."""
+
+    def next_bit(self) -> bool:
+        raise NotImplementedError
+
+
+class SystemBits(BitSource):
+    """Bits from a seedable PRNG (``random.Random``).
+
+    Correctness of extracted samplers relies on the source being
+    Sigma^0_1-uniformly distributed (Definition 4.1); for the Mersenne
+    Twister this is an empirical assumption, exactly as the paper assumes
+    it of OCaml's ``Random`` (Section 5, "Trusted Computing Base").
+    """
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = random.Random(seed)
+
+    def next_bit(self) -> bool:
+        return self._rng.getrandbits(1) == 1
+
+
+class CountingBits(BitSource):
+    """Meter the number of bits drawn from an underlying source."""
+
+    def __init__(self, inner: BitSource):
+        self._inner = inner
+        self.count = 0
+
+    def next_bit(self) -> bool:
+        self.count += 1
+        return self._inner.next_bit()
+
+    def take_count(self) -> int:
+        """Return the bits consumed since the last call, and reset."""
+        count = self.count
+        self.count = 0
+        return count
+
+
+class ReplayBits(BitSource):
+    """A fixed finite bit string; raises :class:`BitsExhausted` at the end.
+
+    The ``consumed`` counter tells callers how long a prefix a sampler
+    actually read -- the basic set ``B(omega)`` of Section 4.2.
+    """
+
+    def __init__(self, bits: Iterable[bool]):
+        self._bits: List[bool] = [bool(b) for b in bits]
+        self.consumed = 0
+
+    def next_bit(self) -> bool:
+        if self.consumed >= len(self._bits):
+            raise BitsExhausted(
+                "replay source exhausted after %d bits" % len(self._bits)
+            )
+        bit = self._bits[self.consumed]
+        self.consumed += 1
+        return bit
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self.consumed
+
+
+class StreamBits(BitSource):
+    """Bits from an arbitrary iterator (e.g. a recorded trace)."""
+
+    def __init__(self, iterator: Iterator[bool]):
+        self._iterator = iter(iterator)
+
+    def next_bit(self) -> bool:
+        try:
+            return bool(next(self._iterator))
+        except StopIteration:
+            raise BitsExhausted("bit stream ended")
+
+
+class ConstantBits(BitSource):
+    """An infinite constant stream (degenerate, for divergence tests)."""
+
+    def __init__(self, value: bool):
+        self._value = bool(value)
+
+    def next_bit(self) -> bool:
+        return self._value

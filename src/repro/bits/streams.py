@@ -1,0 +1,53 @@
+"""Bitstring utilities: prefixes and dyadic encodings (Figure 6a).
+
+A finite bitstring ``omega`` names both the basic set ``B(omega)`` of
+bitstreams extending it and the dyadic interval ``I(omega)`` of the unit
+interval, under the bisection scheme: bit ``0`` selects the left half,
+bit ``1`` the right half (so e.g. "01" names [1/4, 1/2)).
+"""
+
+from fractions import Fraction
+from typing import List, Sequence, Tuple
+
+
+def is_prefix(prefix: Sequence[bool], stream: Sequence[bool]) -> bool:
+    """The prefix order on bitstrings: ``prefix <= stream``."""
+    if len(prefix) > len(stream):
+        return False
+    return all(p == s for p, s in zip(prefix, stream))
+
+
+def bits_to_fraction(bits: Sequence[bool]) -> Fraction:
+    """Left endpoint of the dyadic interval ``I(bits)``.
+
+    ``I(bits) = [value, value + 2^-len(bits))`` under bisection.
+    """
+    value = Fraction(0)
+    width = Fraction(1)
+    for bit in bits:
+        width /= 2
+        if bit:
+            value += width
+    return value
+
+
+def bits_to_int(bits: Sequence[bool]) -> int:
+    """Big-endian integer value of a bitstring."""
+    value = 0
+    for bit in bits:
+        value = (value << 1) | int(bit)
+    return value
+
+
+def int_to_bits(value: int, width: int) -> List[bool]:
+    """Big-endian ``width``-bit encoding of ``value``."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError("%d does not fit in %d bits" % (value, width))
+    return [bool((value >> (width - 1 - i)) & 1) for i in range(width)]
+
+
+def all_bitstrings(width: int) -> List[Tuple[bool, ...]]:
+    """All ``2^width`` bitstrings of the given length, in dyadic order."""
+    return [
+        tuple(int_to_bits(value, width)) for value in range(1 << width)
+    ]

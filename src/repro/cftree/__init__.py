@@ -1,0 +1,48 @@
+"""Choice-fix trees: the compiler's intermediate representation (Section 3).
+
+CF trees have four constructors (Definition 3.1): ``Leaf`` (terminal
+state), ``Fail`` (observation failure), ``Choice`` (probabilistic binary
+choice with rational bias), and ``Fix`` (loops, as a guarded generator).
+This subpackage provides the tree type and its monad, the twp/twlp/tcwp
+inference semantics (Definitions 3.2-3.4), the compiler from cpGCL
+(Definition 3.5), the ``uniform_tree``/``bernoulli_tree`` constructions
+(Lemma 3.6, Appendix A), the ``debias`` transformation to the random bit
+model, and the ``elim_choices`` optimization.
+"""
+
+from repro.cftree.tree import Choice, Fail, Fix, Leaf, CFTree, LOOPBACK
+from repro.cftree.monad import bind, fmap
+from repro.cftree.semantics import tcwp, twlp, twp
+from repro.cftree.uniform import bernoulli_tree, uniform_tree
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.debias import debias
+from repro.cftree.elim import elim_choices
+from repro.cftree.analysis import (
+    expected_bits,
+    is_unbiased,
+    tree_depth,
+    tree_size,
+)
+
+__all__ = [
+    "CFTree",
+    "Choice",
+    "Fail",
+    "Fix",
+    "LOOPBACK",
+    "Leaf",
+    "bernoulli_tree",
+    "bind",
+    "compile_cpgcl",
+    "debias",
+    "elim_choices",
+    "expected_bits",
+    "fmap",
+    "is_unbiased",
+    "tcwp",
+    "tree_depth",
+    "tree_size",
+    "twlp",
+    "twp",
+    "uniform_tree",
+]

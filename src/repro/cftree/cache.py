@@ -1,0 +1,49 @@
+"""Bounded memoization for the sampler hot path.
+
+During sampling, a loop's body is recompiled and re-debiased once per
+iteration per sample (the ``Fix`` representation is lazy in the loop
+state).  States recur heavily across samples, so memoizing on
+``(identity of the syntax object, state)`` turns per-iteration tree
+construction into a dictionary lookup.
+
+Keys use object identity for unhashable-or-expensive-to-hash components
+(commands, trees); the cache keeps a reference to those objects, so a
+live entry's id can never be recycled by the allocator.  Eviction is
+FIFO with a generous bound.
+"""
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+
+class BoundedCache:
+    """A FIFO-bounded mapping with identity-based keys.
+
+    ``get``/``put`` take a key tuple plus the objects whose identities
+    appear in the key (kept alive alongside the value).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, Tuple[tuple, object]]" = (
+            OrderedDict()
+        )
+
+    def get(self, key: Hashable):
+        entry = self._entries.get(key)
+        return entry[1] if entry is not None else None
+
+    def put(self, key: Hashable, keepalive: tuple, value) -> None:
+        if key in self._entries:
+            return
+        if len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = (keepalive, value)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()

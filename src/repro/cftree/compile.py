@@ -1,0 +1,109 @@
+"""The compiler from cpGCL to CF trees (Definition 3.5).
+
+``compile_cpgcl c sigma`` maps an initial state to the CF tree encoding
+the sampling semantics of ``c`` from ``sigma``:
+
+====================  =================================================
+``skip``              ``Leaf sigma``
+``x <- e``            ``Leaf sigma[x -> e sigma]``
+``observe e``         ``Leaf sigma`` if ``e sigma`` else ``Fail``
+``c1; c2``            ``compile c1 sigma >>= compile c2``
+``if e ...``          compile the taken branch
+``{c1} [p] {c2}``     ``Choice (p sigma) ...`` (bias evaluated *now*,
+                      which is how state-dependent probabilities become
+                      constant-rational choice nodes ready for debiasing)
+``uniform e x``       ``uniform_tree (e sigma) >>= \\n. Leaf sigma[x->n]``
+``while e do c``      ``Fix sigma e (compile c) Leaf``
+====================  =================================================
+
+The compiler performs the dynamic side-condition checks of
+Definition 2.1 (probability in [0, 1], positive uniform range).
+"""
+
+from repro.cftree.cache import BoundedCache
+from repro.cftree.monad import bind
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+from repro.cftree.uniform import uniform_tree
+from repro.lang.errors import ProbabilityRangeError, UniformRangeError
+from repro.lang.state import State
+from repro.lang.syntax import (
+    Assign,
+    Choice as ChoiceCmd,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.lang.values import as_bool, as_fraction, as_int
+
+
+# Loop bodies are recompiled per iteration per sample; states recur
+# across samples, so memoization on (command identity, state) is the
+# sampler's main constant-factor optimization.
+_COMPILE_CACHE = BoundedCache(200_000)
+
+
+def compile_cpgcl(command: Command, sigma: State, coalesce: str = "loopback") -> CFTree:
+    """``[[command]] sigma`` -- Definition 3.5.
+
+    ``coalesce`` selects the leaf-coalescing mode of the ``uniform_tree``
+    construction used for ``uniform`` commands (see
+    :mod:`repro.cftree.uniform`).
+    """
+    key = (id(command), sigma, coalesce)
+    cached = _COMPILE_CACHE.get(key)
+    if cached is None:
+        cached = _compile(command, sigma, coalesce)
+        _COMPILE_CACHE.put(key, (command,), cached)
+    return cached
+
+
+def _compile(command: Command, sigma: State, coalesce: str) -> CFTree:
+    if isinstance(command, Skip):
+        return Leaf(sigma)
+    if isinstance(command, Assign):
+        return Leaf(sigma.set(command.name, command.expr.eval(sigma)))
+    if isinstance(command, Observe):
+        if as_bool(command.pred.eval(sigma)):
+            return Leaf(sigma)
+        return Fail()
+    if isinstance(command, Seq):
+        second = command.second
+        return bind(
+            compile_cpgcl(command.first, sigma, coalesce),
+            lambda s: compile_cpgcl(second, s, coalesce),
+        )
+    if isinstance(command, Ite):
+        taken = command.then if as_bool(command.cond.eval(sigma)) else command.orelse
+        return compile_cpgcl(taken, sigma, coalesce)
+    if isinstance(command, ChoiceCmd):
+        p = as_fraction(command.prob.eval(sigma))
+        if not 0 <= p <= 1:
+            raise ProbabilityRangeError(p, sigma)
+        return Choice(
+            p,
+            compile_cpgcl(command.left, sigma, coalesce),
+            compile_cpgcl(command.right, sigma, coalesce),
+        )
+    if isinstance(command, Uniform):
+        n = as_int(command.range_expr.eval(sigma))
+        if n <= 0:
+            raise UniformRangeError(n, sigma)
+        name = command.name
+        return bind(
+            uniform_tree(n, coalesce), lambda i: Leaf(sigma.set(name, i))
+        )
+    if isinstance(command, While):
+        guard_expr, body = command.cond, command.body
+
+        def guard(s: State) -> bool:
+            return as_bool(guard_expr.eval(s))
+
+        def generate(s: State) -> CFTree:
+            return compile_cpgcl(body, s, coalesce)
+
+        return Fix(sigma, guard, generate, Leaf)
+    raise TypeError("not a command: %r" % (command,))

@@ -1,0 +1,64 @@
+"""Bias elimination: reduction to the random bit model (Appendix A).
+
+``debias`` replaces every ``Choice p k`` whose bias is not 1/2 by the
+semantically equivalent fair-coin-flipping scheme ``bernoulli_tree p``
+bound into the (recursively debiased) subtrees (Definition A.1):
+
+    debias (Choice p k) =
+        bernoulli_tree p >>= \\b. if b then debias (k true)
+                                       else debias (k false)
+
+``Fix`` nodes debias lazily through their generators, so unbounded loops
+never force infinite work.  The essential properties -- semantics
+preservation (Theorem 3.8 / A.2) and unbiasedness of the result
+(Theorem 3.9 / A.3) -- are checked exactly by the verification suite.
+"""
+
+from fractions import Fraction
+
+from repro.cftree.cache import BoundedCache
+from repro.cftree.monad import bind
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+from repro.cftree.uniform import bernoulli_tree
+
+_HALF = Fraction(1, 2)
+
+_DEBIAS_CACHE = BoundedCache(200_000)
+
+
+def debias(tree: CFTree, coalesce: str = "loopback") -> CFTree:
+    """Replace all biased choices by fair coin-flipping schemes.
+
+    ``coalesce`` selects the leaf-coalescing mode of the underlying
+    ``bernoulli_tree`` construction (see :mod:`repro.cftree.uniform`);
+    the default reproduces the paper's measured entropy usage.
+    """
+    key = (id(tree), coalesce)
+    cached = _DEBIAS_CACHE.get(key)
+    if cached is None:
+        cached = _debias(tree, coalesce)
+        _DEBIAS_CACHE.put(key, (tree,), cached)
+    return cached
+
+
+def _debias(tree: CFTree, coalesce: str) -> CFTree:
+    if isinstance(tree, (Leaf, Fail)):
+        return tree
+    if isinstance(tree, Choice):
+        left = debias(tree.left, coalesce)
+        right = debias(tree.right, coalesce)
+        if tree.prob == _HALF:
+            return Choice(_HALF, left, right)
+        return bind(
+            bernoulli_tree(tree.prob, coalesce),
+            lambda heads: left if heads else right,
+        )
+    if isinstance(tree, Fix):
+        body, cont = tree.body, tree.cont
+        return Fix(
+            tree.init,
+            tree.guard,
+            lambda s: debias(body(s), coalesce),
+            lambda s: debias(cont(s), coalesce),
+        )
+    raise TypeError("not a CF tree: %r" % (tree,))

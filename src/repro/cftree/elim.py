@@ -1,0 +1,51 @@
+"""The ``elim_choices`` optimization (Definition 3.13).
+
+Eliminates redundant probabilistic choices before debiasing:
+
+- a choice with bias 0 or 1 is replaced by the branch actually taken;
+- a fair-or-biased choice between *structurally equal* subtrees is that
+  subtree (coalescing duplicate leaves, Appendix A step 5);
+- rational biases are kept reduced (automatic with ``Fraction``).
+
+Each rewrite preserves ``tcwp`` (checked exactly by the test suite) and
+never increases expected bit consumption.
+"""
+
+from repro.cftree.cache import BoundedCache
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+
+_ELIM_CACHE = BoundedCache(200_000)
+
+
+def elim_choices(tree: CFTree) -> CFTree:
+    """Remove trivial and duplicate choices, recursively."""
+    key = id(tree)
+    cached = _ELIM_CACHE.get(key)
+    if cached is None:
+        cached = _elim(tree)
+        _ELIM_CACHE.put(key, (tree,), cached)
+    return cached
+
+
+def _elim(tree: CFTree) -> CFTree:
+    if isinstance(tree, (Leaf, Fail)):
+        return tree
+    if isinstance(tree, Choice):
+        if tree.prob == 1:
+            return elim_choices(tree.left)
+        if tree.prob == 0:
+            return elim_choices(tree.right)
+        left = elim_choices(tree.left)
+        right = elim_choices(tree.right)
+        if left == right:
+            return left
+        return Choice(tree.prob, left, right)
+    if isinstance(tree, Fix):
+        body, cont = tree.body, tree.cont
+        return Fix(
+            tree.init,
+            tree.guard,
+            lambda s: elim_choices(body(s)),
+            lambda s: elim_choices(cont(s)),
+        )
+    raise TypeError("not a CF tree: %r" % (tree,))

@@ -1,0 +1,34 @@
+"""The CF tree monad.
+
+``bind`` is the ``>>=`` of Definition 3.5, used to compile sequencing:
+replace every ``Leaf a`` by ``k(a)``.  ``Fail`` is absorbing and ``Fix``
+defers into its continuation, so binding never forces a loop.
+"""
+
+from typing import Callable
+
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+
+
+def bind(tree: CFTree, k: Callable[[object], CFTree]) -> CFTree:
+    """Substitute ``k(value)`` for every ``Leaf(value)`` in ``tree``."""
+    if isinstance(tree, Leaf):
+        return k(tree.value)
+    if isinstance(tree, Fail):
+        return tree
+    if isinstance(tree, Choice):
+        return Choice(tree.prob, bind(tree.left, k), bind(tree.right, k))
+    if isinstance(tree, Fix):
+        cont = tree.cont
+        return Fix(
+            tree.init,
+            tree.guard,
+            tree.body,
+            lambda s: bind(cont(s), k),
+        )
+    raise TypeError("not a CF tree: %r" % (tree,))
+
+
+def fmap(tree: CFTree, f: Callable[[object], object]) -> CFTree:
+    """Map ``f`` over leaf values (``fmap f t = t >>= (Leaf . f)``)."""
+    return bind(tree, lambda value: Leaf(f(value)))

@@ -1,0 +1,107 @@
+"""Inference semantics of CF trees (Definitions 3.2-3.4).
+
+``twp_b t f`` is the expected value of ``f`` over the terminals of ``t``
+(plus the observation-failure mass when ``b``); ``twlp_b`` additionally
+counts divergence mass; ``tcwp t f = twp_false t f / twlp_false t 1``.
+
+``Fix`` nodes reuse the generic loop engine of
+:mod:`repro.semantics.fixpoint` -- the same machinery that evaluates
+``while`` in the cwp semantics -- so the compiler correctness equation
+``tcwp (compile c sigma) f = cwp c f sigma`` (Theorem 3.7) can be checked
+with both sides computed by independent structural recursions over the
+*same* fixpoint solver.
+"""
+
+from typing import Callable
+
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+from repro.semantics.algebra import EXT_REAL
+from repro.semantics.expectation import bounded_expectation, lift_expectation
+from repro.semantics.extreal import ExtReal
+from repro.semantics.fixpoint import DEFAULT_OPTIONS, LoopOptions, solve_loop
+
+
+def twp(
+    tree: CFTree,
+    f: Callable[[object], object],
+    flag: bool = False,
+    options: LoopOptions = DEFAULT_OPTIONS,
+) -> ExtReal:
+    """``twp_b tree f`` (Definition 3.2)."""
+    return _eval(tree, lift_expectation(f), EXT_REAL, flag, False, options)
+
+
+def twlp(
+    tree: CFTree,
+    f: Callable[[object], object],
+    flag: bool = False,
+    options: LoopOptions = DEFAULT_OPTIONS,
+) -> ExtReal:
+    """``twlp_b tree f`` (Definition 3.3); requires ``f <= 1``."""
+    f = bounded_expectation(lift_expectation(f))
+    return _eval(tree, f, EXT_REAL, flag, True, options)
+
+
+class TreeConditioningError(ZeroDivisionError):
+    """``tcwp`` of a tree whose success probability is zero."""
+
+
+def tcwp(
+    tree: CFTree,
+    f: Callable[[object], object],
+    options: LoopOptions = DEFAULT_OPTIONS,
+) -> ExtReal:
+    """``tcwp tree f = twp_false tree f / twlp_false tree 1``
+    (Definition 3.4)."""
+    numerator = twp(tree, f, flag=False, options=options)
+    denominator = twlp(tree, lambda _value: 1, flag=False, options=options)
+    if denominator == ExtReal(0):
+        raise TreeConditioningError(
+            "tree conditions on a probability-zero event (twlp = 0)"
+        )
+    return numerator / denominator
+
+
+def _eval(tree, f, alg, flag, liberal, options):
+    """Structural twp/twlp evaluation over value algebra ``alg``."""
+    if isinstance(tree, Leaf):
+        return f(tree.value)
+    if isinstance(tree, Fail):
+        return alg.one() if flag else alg.zero()
+    if isinstance(tree, Choice):
+        p = tree.prob
+        if p == 1:
+            return _eval(tree.left, f, alg, flag, liberal, options)
+        if p == 0:
+            return _eval(tree.right, f, alg, flag, liberal, options)
+        left = _eval(tree.left, f, alg, flag, liberal, options)
+        right = _eval(tree.right, f, alg, flag, liberal, options)
+        return alg.add(alg.scale(p, left), alg.scale(1 - p, right))
+    if isinstance(tree, Fix):
+        body, cont = tree.body, tree.cont
+
+        def step(s, h, step_alg):
+            return _eval(body(s), h, step_alg, flag, liberal, options)
+
+        def mass_step(s, h, step_alg):
+            return _eval(body(s), h, step_alg, False, False, options)
+
+        def exit_value(s):
+            return _eval(cont(s), f, alg, flag, liberal, options)
+
+        return solve_loop(
+            init_state=tree.init,
+            guard=tree.guard,
+            step=step,
+            exit_value=exit_value,
+            algebra=alg,
+            greatest=liberal,
+            options=options,
+            mass_step=mass_step,
+        )
+    raise TypeError("not a CF tree: %r" % (tree,))
+
+
+def twp_value(tree, f, alg, flag, liberal, options):
+    """Low-level entry point (generic algebra), for tests and harnesses."""
+    return _eval(tree, f, alg, flag, liberal, options)

@@ -1,0 +1,169 @@
+"""The choice-fix tree data type (Definition 3.1).
+
+Trees are generic in their leaf type ``A``:
+
+- the compiler produces ``CFTree[State]`` (leaves are terminal program
+  states);
+- ``uniform_tree n`` is a ``CFTree[int]`` over outcomes ``0..n-1``;
+- ``bernoulli_tree p`` is a ``CFTree[bool]``.
+
+``Choice`` stores its two continuations directly (``left`` = the paper's
+``k true``, ``right`` = ``k false``).  ``Fix sigma e g k`` encodes a loop:
+starting from ``init``, repeatedly extend via the body generator ``body``
+while ``guard`` holds, then continue with ``cont``; both ``body`` and
+``cont`` map loop states to subtrees.
+
+Structural equality is decidable for ``Leaf``/``Fail``/``Choice`` nodes
+(used by the leaf-coalescing optimization that makes the debiased
+samplers near entropy-optimal); ``Fix`` nodes compare by identity since
+they contain functions.
+
+``LOOPBACK`` is the sentinel leaf value used by the ``uniform_tree`` and
+``bernoulli_tree`` rejection constructions (Appendix A step 3): the
+``Fix`` wrapper's guard recognizes it and restarts the flip scheme.
+"""
+
+from fractions import Fraction
+from typing import Callable, Generic, TypeVar
+
+A = TypeVar("A")
+S = TypeVar("S")
+
+
+class _Loopback:
+    """Sentinel leaf marking 'restart the rejection loop' (Appendix A)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self):
+        return "LOOPBACK"
+
+
+LOOPBACK = _Loopback()
+
+
+class CFTree(Generic[A]):
+    """Base class of choice-fix trees."""
+
+    __slots__ = ()
+
+
+class Leaf(CFTree[A]):
+    """A terminal with value ``value`` (a program state, outcome, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: A):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Leaf is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Leaf) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("Leaf", self.value))
+
+    def __repr__(self):
+        return "Leaf(%r)" % (self.value,)
+
+
+class Fail(CFTree[A]):
+    """Observation failure (a violated ``observe``)."""
+
+    __slots__ = ()
+
+    def __eq__(self, other):
+        return isinstance(other, Fail)
+
+    def __hash__(self):
+        return hash("Fail")
+
+    def __repr__(self):
+        return "Fail()"
+
+
+class Choice(CFTree[A]):
+    """Probabilistic binary choice with rational bias ``prob`` of going
+    left (the paper's "heads")."""
+
+    __slots__ = ("prob", "left", "right")
+
+    def __init__(self, prob, left: CFTree, right: CFTree):
+        prob = Fraction(prob)
+        if not 0 <= prob <= 1:
+            raise ValueError("choice bias %s outside [0, 1]" % (prob,))
+        _require_tree(left)
+        _require_tree(right)
+        object.__setattr__(self, "prob", prob)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Choice is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Choice)
+            and self.prob == other.prob
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash(("Choice", self.prob, self.left, self.right))
+
+    def __repr__(self):
+        return "Choice(%s, %r, %r)" % (self.prob, self.left, self.right)
+
+
+class Fix(CFTree[A], Generic[S, A]):
+    """A loop node ``Fix init guard body cont``.
+
+    Operationally: starting from ``Leaf(init)``, repeatedly extend leaves
+    ``s`` via ``body(s)`` while ``guard(s)`` holds; leaves with a false
+    guard continue into ``cont(s)``.
+    """
+
+    __slots__ = ("init", "guard", "body", "cont")
+
+    def __init__(
+        self,
+        init: S,
+        guard: Callable[[S], bool],
+        body: Callable[[S], CFTree[S]],
+        cont: Callable[[S], CFTree[A]],
+    ):
+        object.__setattr__(self, "init", init)
+        object.__setattr__(self, "guard", guard)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "cont", cont)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Fix is immutable")
+
+    # Fix nodes contain functions: equality is identity.
+    def __eq__(self, other):
+        return self is other
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self):
+        return "Fix(init=%r, guard=%r, body=%r, cont=%r)" % (
+            self.init,
+            self.guard,
+            self.body,
+            self.cont,
+        )
+
+
+def _require_tree(t):
+    if not isinstance(t, CFTree):
+        raise TypeError("expected a CF tree, got %r" % (t,))

@@ -1,0 +1,155 @@
+"""Uniform and Bernoulli CF tree constructions (Section 3.3, Appendix A).
+
+``uniform_tree n`` produces a CF tree over outcomes ``0..n-1`` with
+probability exactly ``1/n`` each (Lemma 3.6); ``bernoulli_tree p``
+produces a boolean tree with probability exactly ``p`` of ``True``
+(the debiasing primitive of Appendix A).  Both follow the same recipe:
+
+1. pick the depth ``m`` with ``2^(m-1) < d <= 2^m`` (``d`` = number of
+   distinct outcomes needed: ``n``, or the bias denominator);
+2. build a perfect depth-``m`` tree of fair coin flips whose ``2^m``
+   leaves hold the outcomes, padding with the ``LOOPBACK`` sentinel;
+3. **coalesce** duplicate leaves bottom-up (a fair choice between two
+   equal subtrees is that subtree);
+4. if any LOOPBACK leaves remain, wrap the tree in a ``Fix`` whose guard
+   recognizes the sentinel: a rejection loop that restarts the flips.
+
+Coalescing modes (the ``coalesce`` parameter):
+
+- ``"loopback"`` (default): merge only LOOPBACK leaves.  This matches the
+  paper's implementation -- its step 4 inserts *copies* of the branch
+  subtrees at outcome positions, and its leaf-coalescing (step 5) only
+  merges the literal loopback leaves.  The measured entropy numbers of
+  Tables 1-3 (e.g. 12.0 bits for dueling coins at p = 2/3, 11/3 ~ 3.66
+  flips for a 6-sided die) are reproduced exactly in this mode.
+- ``"full"``: additionally merge equal outcome subtrees.  Strictly fewer
+  expected flips (9.0 for dueling coins at p = 2/3); the coalescing
+  ablation benchmark quantifies the gap.
+- ``"none"``: no merging (the textbook perfect tree).
+
+All biases in the produced trees are 1/2, so these trees are already in
+the random bit model.
+"""
+
+from fractions import Fraction
+from typing import List
+
+from repro.cftree.tree import CFTree, Choice, Fix, LOOPBACK, Leaf
+
+COALESCE_MODES = ("loopback", "full", "none")
+
+
+def perfect_tree(leaves: List[CFTree], coalesce: str = "loopback") -> CFTree:
+    """A balanced fair-coin tree over ``leaves`` (length a power of two),
+    coalescing equal siblings bottom-up per the selected mode."""
+    count = len(leaves)
+    if count & (count - 1) or count == 0:
+        raise ValueError("need a power-of-two number of leaves, got %d" % count)
+    if coalesce not in COALESCE_MODES:
+        raise ValueError("unknown coalescing mode %r" % (coalesce,))
+    level = list(leaves)
+    while len(level) > 1:
+        level = [
+            _fair_choice(level[i], level[i + 1], coalesce)
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
+_LOOPBACK_LEAF = Leaf(LOOPBACK)
+
+
+def _fair_choice(left: CFTree, right: CFTree, coalesce: str) -> CFTree:
+    """``Choice(1/2, left, right)``, coalesced when permitted and equal.
+
+    Equality is structural for Leaf/Fail/Choice (identity for Fix), so
+    the merge test is decidable.
+    """
+    if coalesce == "full" and left == right:
+        return left
+    if (
+        coalesce == "loopback"
+        and left == _LOOPBACK_LEAF
+        and right == _LOOPBACK_LEAF
+    ):
+        return left
+    return Choice(Fraction(1, 2), left, right)
+
+
+def rejection_tree(outcomes: List[CFTree], coalesce: str = "loopback") -> CFTree:
+    """Steps 2-4 of the Appendix A recipe for a list of ``d`` outcome
+    subtrees: pad to ``2^m`` with LOOPBACK leaves, coalesce, and wrap in
+    a restart loop if needed."""
+    d = len(outcomes)
+    if d == 0:
+        raise ValueError("need at least one outcome")
+    m = (d - 1).bit_length()  # 2^(m-1) < d <= 2^m
+    width = 1 << m
+    padded = outcomes + [_LOOPBACK_LEAF] * (width - d)
+    flips = perfect_tree(padded, coalesce)
+    if width == d:
+        return flips
+
+    def guard(s):
+        return s is LOOPBACK
+
+    def body(_s):
+        return flips
+
+    def cont(s):
+        return Leaf(s)
+
+    return Fix(LOOPBACK, guard, body, cont)
+
+
+# Trees are immutable and the same small trees are requested once per
+# loop iteration per sample, so memoization is a large constant-factor
+# win for the sampler hot path.
+_UNIFORM_CACHE = {}
+_BERNOULLI_CACHE = {}
+
+
+def uniform_tree(n: int, coalesce: str = "loopback") -> CFTree:
+    """A CF tree drawing uniformly from ``{0, .., n-1}`` (Lemma 3.6).
+
+    ``twp_false (uniform_tree n) f = 1/n * sum_i f(i)`` exactly; the
+    verification suite checks this for a range of ``n``.
+    """
+    if n <= 0:
+        raise ValueError("uniform_tree requires n > 0")
+    key = (n, coalesce)
+    cached = _UNIFORM_CACHE.get(key)
+    if cached is None:
+        if n == 1:
+            cached = Leaf(0)
+        else:
+            cached = rejection_tree([Leaf(i) for i in range(n)], coalesce)
+        if len(_UNIFORM_CACHE) < 4096:
+            _UNIFORM_CACHE[key] = cached
+    return cached
+
+
+def bernoulli_tree(p, coalesce: str = "loopback") -> CFTree:
+    """A CF tree over ``{True, False}`` with ``P(True) = p`` exactly,
+    using only fair choices (Appendix A).
+
+    For ``p = n/d``: ``n`` leaves carry True, ``d - n`` carry False, and
+    the remaining ``2^m - d`` restart the scheme.
+    """
+    p = Fraction(p)
+    if not 0 <= p <= 1:
+        raise ValueError("bias %s outside [0, 1]" % (p,))
+    key = (p, coalesce)
+    cached = _BERNOULLI_CACHE.get(key)
+    if cached is None:
+        if p == 0:
+            cached = Leaf(False)
+        elif p == 1:
+            cached = Leaf(True)
+        else:
+            n, d = p.numerator, p.denominator
+            outcomes = [Leaf(True)] * n + [Leaf(False)] * (d - n)
+            cached = rejection_tree(outcomes, coalesce)
+        if len(_BERNOULLI_CACHE) < 65536:
+            _BERNOULLI_CACHE[key] = cached
+    return cached

@@ -1,0 +1,141 @@
+"""ASCII and DOT rendering of CF trees and interaction trees.
+
+Reproduces the *pictures* of the paper -- the CF-tree term of Figure 3,
+the debiasing diagrams of Figures 4/10, and the ITree unfoldings of
+Figures 5/6b -- as text, up to a configurable depth (the trees are
+potentially infinite; ``Fix`` nodes and ITree loops are unfolded lazily
+and truncated with an ellipsis marker).
+"""
+
+from fractions import Fraction
+from typing import List
+
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+from repro.itree.itree import ITree, Ret, Tau, Vis
+
+
+def render_cftree(
+    tree: CFTree,
+    max_depth: int = 8,
+    unfold_fix: bool = False,
+) -> str:
+    """Indented ASCII rendering of a CF tree.
+
+    With ``unfold_fix`` the body of each ``Fix`` is expanded at its
+    initial state (one unfolding), mirroring how Figure 3 displays the
+    loop generator applied to the entry state.
+    """
+    lines: List[str] = []
+    _cf_lines(tree, "", lines, max_depth, unfold_fix)
+    return "\n".join(lines)
+
+
+def _cf_lines(tree, indent, lines, depth, unfold_fix):
+    if depth < 0:
+        lines.append(indent + "...")
+        return
+    if isinstance(tree, Leaf):
+        lines.append(indent + "Leaf %s" % (tree.value,))
+        return
+    if isinstance(tree, Fail):
+        lines.append(indent + "Fail")
+        return
+    if isinstance(tree, Choice):
+        lines.append(indent + "Choice %s" % (tree.prob,))
+        _cf_lines(tree.left, indent + "  1:", lines, depth - 1, unfold_fix)
+        _cf_lines(tree.right, indent + "  0:", lines, depth - 1, unfold_fix)
+        return
+    if isinstance(tree, Fix):
+        lines.append(indent + "Fix init=%s" % (tree.init,))
+        if unfold_fix and depth > 0:
+            if tree.guard(tree.init):
+                _cf_lines(tree.body(tree.init), indent + "  body:",
+                          lines, depth - 1, unfold_fix)
+            else:
+                _cf_lines(tree.cont(tree.init), indent + "  cont:",
+                          lines, depth - 1, unfold_fix)
+        return
+    raise TypeError("not a CF tree: %r" % (tree,))
+
+
+def render_itree(tree: ITree, max_bits: int = 4, max_taus: int = 1000) -> str:
+    """ASCII rendering of an ITree unfolded to ``max_bits`` bit queries.
+
+    Tau chains are collapsed (they carry no information beyond
+    guardedness); branches beyond the bit budget display as ``...``.
+    This regenerates the pictures of Figures 5 and 6b.
+    """
+    lines: List[str] = []
+    _itree_lines(tree, "", lines, max_bits, max_taus)
+    return "\n".join(lines)
+
+
+def _itree_lines(tree, indent, lines, bits, max_taus):
+    taus = 0
+    while isinstance(tree, Tau):
+        taus += 1
+        if taus > max_taus:
+            lines.append(indent + "<diverges silently>")
+            return
+        tree = tree.step()
+    if isinstance(tree, Ret):
+        lines.append(indent + "Ret %s" % (tree.value,))
+        return
+    if isinstance(tree, Vis):
+        if bits <= 0:
+            lines.append(indent + "...")
+            return
+        lines.append(indent + "Vis GetBool")
+        _itree_lines(tree.kont(True), indent + "  1:", lines, bits - 1,
+                     max_taus)
+        _itree_lines(tree.kont(False), indent + "  0:", lines, bits - 1,
+                     max_taus)
+        return
+    raise TypeError("not an interaction tree: %r" % (tree,))
+
+
+def cftree_to_dot(tree: CFTree, max_depth: int = 8) -> str:
+    """GraphViz DOT rendering of the eager part of a CF tree."""
+    lines = ["digraph cftree {", '  node [fontname="monospace"];']
+    counter = [0]
+
+    def fresh() -> str:
+        counter[0] += 1
+        return "n%d" % counter[0]
+
+    def walk(node, depth) -> str:
+        name = fresh()
+        if depth < 0:
+            lines.append('  %s [label="..." shape=plaintext];' % name)
+            return name
+        if isinstance(node, Leaf):
+            lines.append(
+                '  %s [label="%s" shape=box];' % (name, _escape(node.value))
+            )
+        elif isinstance(node, Fail):
+            lines.append('  %s [label="FAIL" shape=box];' % name)
+        elif isinstance(node, Choice):
+            lines.append('  %s [label="%s" shape=circle];' % (name, node.prob))
+            left = walk(node.left, depth - 1)
+            right = walk(node.right, depth - 1)
+            lines.append('  %s -> %s [label="1"];' % (name, left))
+            lines.append('  %s -> %s [label="0"];' % (name, right))
+        elif isinstance(node, Fix):
+            lines.append(
+                '  %s [label="fix %s" shape=doublecircle];'
+                % (name, _escape(node.init))
+            )
+            if node.guard(node.init) and depth > 0:
+                body = walk(node.body(node.init), depth - 1)
+                lines.append('  %s -> %s [style=dashed];' % (name, body))
+        else:
+            raise TypeError("not a CF tree: %r" % (node,))
+        return name
+
+    walk(tree, max_depth)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _escape(value) -> str:
+    return str(value).replace('"', '\\"')

@@ -1,0 +1,15 @@
+"""Command-line driver for cpGCL programs (``python -m repro``).
+
+See :mod:`repro.cli.main` for the subcommand reference.
+"""
+
+from repro.cli.commands import CliError, load_program, parse_initial_state
+from repro.cli.main import build_parser, main
+
+__all__ = [
+    "CliError",
+    "build_parser",
+    "load_program",
+    "main",
+    "parse_initial_state",
+]

@@ -1,0 +1,216 @@
+"""Implementations of the ``python -m repro`` subcommands.
+
+Each command takes parsed arguments plus an output stream, returns a
+process exit code, and raises nothing user-triggerable: parse/check
+failures are rendered as diagnostics and a nonzero exit code, matching
+what a downstream user expects from a compiler driver.
+"""
+
+import sys
+from collections import Counter
+from fractions import Fraction
+from typing import Optional, TextIO
+
+from repro.cftree.analysis import expected_bits, is_unbiased, tree_depth, tree_size
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.debias import debias
+from repro.cftree.elim import elim_choices
+from repro.cftree.viz import render_cftree
+from repro.inference import infer_posterior
+from repro.itree.unfold import cpgcl_to_itree
+from repro.lang.errors import CpGCLError
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty
+from repro.lang.state import State
+from repro.lang.syntax import Command
+from repro.lang.typecheck import check_program
+from repro.lang.values import normalize
+from repro.mcmc import MHSampler, effective_sample_size
+from repro.sampler.record import collect
+
+
+class CliError(Exception):
+    """A user-facing failure: message printed, exit code 1."""
+
+
+def load_program(path: str) -> Command:
+    """Parse a cpGCL source file into a command AST."""
+    try:
+        with open(path) as handle:
+            source = handle.read()
+    except OSError as err:
+        raise CliError("cannot read %s: %s" % (path, err))
+    try:
+        return parse_program(source)
+    except CpGCLError as err:
+        raise CliError("%s: %s" % (path, err))
+
+
+def parse_initial_state(pairs) -> State:
+    """Build the initial state from repeated ``--init name=value``."""
+    sigma = State()
+    for pair in pairs or ():
+        name, _sep, raw = pair.partition("=")
+        if not _sep or not name:
+            raise CliError("--init expects name=value, got %r" % (pair,))
+        sigma = sigma.set(name.strip(), _parse_value(raw.strip()))
+    return sigma
+
+
+def _parse_value(raw: str):
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        if "/" in raw:
+            return normalize(Fraction(raw))
+        return int(raw)
+    except ValueError:
+        raise CliError("cannot parse value %r (int, bool, or p/q)" % (raw,))
+
+
+def cmd_check(args, out: TextIO) -> int:
+    program = load_program(args.file)
+    report = check_program(program, strict=False)
+    for message in report.errors:
+        print("error: %s" % message, file=out)
+    for message in report.warnings:
+        print("warning: %s" % message, file=out)
+    if report.ok:
+        print("%s: OK (%d warning%s)" % (
+            args.file, len(report.warnings),
+            "" if len(report.warnings) == 1 else "s",
+        ), file=out)
+        return 0
+    return 1
+
+
+def cmd_pretty(args, out: TextIO) -> int:
+    program = load_program(args.file)
+    print(pretty(program), file=out)
+    return 0
+
+
+def cmd_compile(args, out: TextIO) -> int:
+    program = load_program(args.file)
+    sigma = parse_initial_state(args.init)
+    tree = compile_cpgcl(program, sigma)
+    stage = "compiled"
+    if args.debias:
+        tree = debias(elim_choices(tree))
+        stage = "compiled + elim_choices + debias"
+    unbiased = is_unbiased(tree)
+    print("stage:     %s" % stage, file=out)
+    print("size:      %d nodes (Fix bodies not unfolded)" % tree_size(tree),
+          file=out)
+    print("depth:     %d" % tree_depth(tree), file=out)
+    print("unbiased:  %s" % unbiased, file=out)
+    try:
+        cost = expected_bits(tree)
+        # Each Choice costs one flip; only for unbiased trees do flips
+        # coincide with fair random bits.
+        label = "E[bits]" if unbiased else "E[flips]"
+        print("%s:   %s (= %.4f)" % (label, cost, float(cost)), file=out)
+    except (CpGCLError, ValueError, ZeroDivisionError):
+        pass  # expected cost undefined (e.g. nonterminating loop)
+    if args.tree:
+        print(file=out)
+        # Unfold Fix bodies one step at their entry states, as Figure 3
+        # displays the primes loop.
+        print(
+            render_cftree(tree, max_depth=args.max_depth, unfold_fix=True),
+            file=out,
+        )
+    return 0
+
+
+def cmd_sample(args, out: TextIO) -> int:
+    program = load_program(args.file)
+    sigma = parse_initial_state(args.init)
+    sampler = cpgcl_to_itree(program, sigma)
+    extract = _extractor(args.var)
+    samples = collect(sampler, args.n, seed=args.seed, extract=extract)
+    print("samples:   %d (seed %s)" % (len(samples), args.seed), file=out)
+    print("mean bits: %.2f (std %.2f)"
+          % (samples.mean_bits(), samples.std_bits()), file=out)
+    if args.var is not None:
+        print("mean %s:   %.4f (std %.4f)"
+              % (args.var, samples.mean(), samples.std()), file=out)
+    _print_counts(samples.values, args.top, out)
+    return 0
+
+
+def cmd_infer(args, out: TextIO) -> int:
+    program = load_program(args.file)
+    sigma = parse_initial_state(args.init)
+    posterior = infer_posterior(
+        program,
+        sigma,
+        max_expansions=args.budget,
+        mass_tol=Fraction(args.tol) if args.tol else None,
+    )
+    print("expansions: %d   slack: %s"
+          % (posterior.account.expansions, _fmt_frac(posterior.slack)),
+          file=out)
+    if args.var is not None:
+        marginal = posterior.marginal(args.var)
+        try:
+            ordered = sorted(marginal)
+        except TypeError:  # mixed-type support: fall back to repr order
+            ordered = sorted(marginal, key=repr)
+        for value in ordered:
+            bounds = marginal[value]
+            print("P(%s=%s) in [%.6g, %.6g]"
+                  % (args.var, value, bounds.lo, bounds.hi), file=out)
+    else:
+        for state in posterior.states()[: args.top]:
+            bounds = posterior.probability(state)
+            print("P(%s) in [%.6g, %.6g]" % (state, bounds.lo, bounds.hi),
+                  file=out)
+    return 0
+
+
+def cmd_mcmc(args, out: TextIO) -> int:
+    program = load_program(args.file)
+    sigma = parse_initial_state(args.init)
+    chain = MHSampler(program, sigma, seed=args.seed).run(
+        args.n, burn_in=args.burn_in, thin=args.thin
+    )
+    print("samples:     %d (burn-in %d, thin %d, seed %s)"
+          % (len(chain), args.burn_in, args.thin, args.seed), file=out)
+    print("acceptance:  %.3f" % chain.acceptance_rate(), file=out)
+    print("bits/sample: %.2f" % chain.bits_per_sample(), file=out)
+    if args.var is not None:
+        values = chain.extract(args.var)
+        numeric = [float(v) for v in values]
+        print("ESS(%s):     %.0f of %d"
+              % (args.var, effective_sample_size(numeric), len(values)),
+              file=out)
+        _print_counts(values, args.top, out)
+    else:
+        _print_counts(chain.states, args.top, out)
+    return 0
+
+
+def _extractor(var: Optional[str]):
+    if var is None:
+        return lambda state: state
+    return lambda state: state[var]
+
+
+def _print_counts(values, top: int, out: TextIO) -> None:
+    counts = Counter(values)
+    total = sum(counts.values())
+    print("top outcomes:", file=out)
+    for value, count in counts.most_common(top):
+        print("  %-24s %6d  (%.4f)" % (value, count, count / total),
+              file=out)
+
+
+def _fmt_frac(value: Fraction) -> str:
+    if value == 0:
+        return "0 (exact)"
+    approx = float(value)
+    if approx == 0.0:
+        return "<1e-300"
+    return "%.3e" % approx

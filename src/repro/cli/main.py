@@ -1,0 +1,129 @@
+"""Argument parsing and dispatch for ``python -m repro``.
+
+The driver exposes the full pipeline on cpGCL source files::
+
+    python -m repro check   examples/programs/primes.gcl
+    python -m repro pretty  examples/programs/primes.gcl
+    python -m repro compile examples/programs/primes.gcl --debias --tree
+    python -m repro sample  examples/programs/primes.gcl -n 10000 --var h
+    python -m repro infer   examples/programs/primes.gcl --var h
+    python -m repro mcmc    examples/programs/primes.gcl -n 5000 --var h
+
+``sample`` runs the verified pipeline (compile, debias, interaction
+tree, random bit model); ``infer`` computes certified posterior bounds;
+``mcmc`` runs the trace-MH extension.
+"""
+
+import argparse
+import sys
+from typing import List, Optional, TextIO
+
+from repro.cli.commands import (
+    CliError,
+    cmd_check,
+    cmd_compile,
+    cmd_infer,
+    cmd_mcmc,
+    cmd_pretty,
+    cmd_sample,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Zar-reproduction driver: compile, sample, and infer "
+        "cpGCL probabilistic programs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("file", help="cpGCL source file")
+        p.add_argument(
+            "--init",
+            action="append",
+            metavar="NAME=VALUE",
+            help="initial-state binding (repeatable); value is an int, "
+            "true/false, or a rational p/q",
+        )
+
+    p_check = sub.add_parser("check", help="parse and statically check")
+    p_check.add_argument("file", help="cpGCL source file")
+    p_check.set_defaults(run=cmd_check)
+
+    p_pretty = sub.add_parser("pretty", help="parse and pretty-print")
+    p_pretty.add_argument("file", help="cpGCL source file")
+    p_pretty.set_defaults(run=cmd_pretty)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile to a choice-fix tree and report statistics"
+    )
+    add_common(p_compile)
+    p_compile.add_argument(
+        "--debias", action="store_true",
+        help="also run elim_choices + debias (random bit model)",
+    )
+    p_compile.add_argument(
+        "--tree", action="store_true", help="print the tree rendering"
+    )
+    p_compile.add_argument(
+        "--max-depth", type=int, default=8,
+        help="depth cutoff for --tree (default 8)",
+    )
+    p_compile.set_defaults(run=cmd_compile)
+
+    p_sample = sub.add_parser(
+        "sample", help="draw samples via the verified pipeline"
+    )
+    add_common(p_sample)
+    p_sample.add_argument("-n", type=int, default=1000,
+                          help="number of samples (default 1000)")
+    p_sample.add_argument("--seed", type=int, default=None)
+    p_sample.add_argument("--var", default=None,
+                          help="report this variable instead of full states")
+    p_sample.add_argument("--top", type=int, default=10,
+                          help="outcomes to list (default 10)")
+    p_sample.set_defaults(run=cmd_sample)
+
+    p_infer = sub.add_parser(
+        "infer", help="certified posterior bounds by exact enumeration"
+    )
+    add_common(p_infer)
+    p_infer.add_argument("--budget", type=int, default=10_000,
+                         help="max tree expansions (default 10000)")
+    p_infer.add_argument("--tol", default=None,
+                         help="stop when unresolved mass <= TOL (rational)")
+    p_infer.add_argument("--var", default=None,
+                         help="marginalize onto this variable")
+    p_infer.add_argument("--top", type=int, default=10)
+    p_infer.set_defaults(run=cmd_infer)
+
+    p_mcmc = sub.add_parser(
+        "mcmc", help="sample via single-site trace Metropolis-Hastings"
+    )
+    add_common(p_mcmc)
+    p_mcmc.add_argument("-n", type=int, default=1000)
+    p_mcmc.add_argument("--burn-in", type=int, default=200)
+    p_mcmc.add_argument("--thin", type=int, default=1)
+    p_mcmc.add_argument("--seed", type=int, default=None)
+    p_mcmc.add_argument("--var", default=None)
+    p_mcmc.add_argument("--top", type=int, default=10)
+    p_mcmc.set_defaults(run=cmd_mcmc)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out: Optional[TextIO] = None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.run(args, out)
+    except CliError as err:
+        print("error: %s" % err, file=out)
+        return 1
+
+
+def console_main() -> None:
+    """``zar-repro`` console-script entry point (exits the process)."""
+    sys.exit(main())

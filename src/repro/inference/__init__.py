@@ -1,0 +1,39 @@
+"""Exact inference with guaranteed interval bounds (extension).
+
+The paper's Section 6 notes that Zar "currently [does] not support exact
+inference"; this subpackage supplies it on top of the unchanged CF-tree
+IR.  Execution paths of a compiled tree are enumerated best-first with
+exact ``Fraction`` mass bookkeeping, yielding posterior probabilities as
+*sound intervals* that contract to the true posterior for almost-surely
+terminating programs.
+
+Typical use::
+
+    from repro.inference import infer_posterior
+
+    post = infer_posterior(program, State(), mass_tol=Fraction(1, 10**6))
+    for value, bounds in sorted(post.marginal("h").items()):
+        print(value, float(bounds.lo), float(bounds.hi))
+"""
+
+from repro.inference.account import MassAccount
+from repro.inference.interval import Interval, divide_bounds
+from repro.inference.paths import enumerate_paths, unfold_fix_once
+from repro.inference.posterior import (
+    Posterior,
+    infer_posterior,
+    infer_query,
+    refine_until,
+)
+
+__all__ = [
+    "Interval",
+    "MassAccount",
+    "Posterior",
+    "divide_bounds",
+    "enumerate_paths",
+    "infer_posterior",
+    "infer_query",
+    "refine_until",
+    "unfold_fix_once",
+]

@@ -1,0 +1,118 @@
+"""Exact mass bookkeeping for partial path enumeration.
+
+A :class:`MassAccount` records how the unit of probability mass of a CF
+tree has been split so far by the enumerator:
+
+- ``terminal[v]`` -- mass of fully resolved paths ending in ``Leaf(v)``;
+- ``fail`` -- mass of resolved paths ending in ``Fail`` (violated
+  observations);
+- ``unresolved`` -- mass still sitting at the frontier (unexpanded
+  ``Choice`` subtrees and unexhausted ``Fix`` iterations).
+
+The **conservation invariant** ``sum(terminal) + fail + unresolved == 1``
+holds exactly (Fraction arithmetic) after every enumeration step; it is
+the executable counterpart of the measure-theoretic fact that the basic
+sets reached by a sampler partition Cantor space up to the divergence set
+(Section 4.2 of the paper).  Divergence mass, if any, remains forever in
+``unresolved`` -- which is exactly why the account yields *bounds* rather
+than point masses.
+"""
+
+from fractions import Fraction
+from typing import Dict, Iterable, Tuple
+
+from repro.inference.interval import Interval, divide_bounds
+
+
+class MassAccount:
+    """Mutable accumulator for enumerated probability mass."""
+
+    __slots__ = ("terminal", "fail", "unresolved", "expansions")
+
+    def __init__(self):
+        self.terminal: Dict[object, Fraction] = {}
+        self.fail = Fraction(0)
+        self.unresolved = Fraction(1)
+        self.expansions = 0
+
+    def settle_leaf(self, value: object, mass: Fraction) -> None:
+        """Move ``mass`` from the frontier to terminal value ``value``."""
+        self._draw(mass)
+        self.terminal[value] = self.terminal.get(value, Fraction(0)) + mass
+
+    def settle_fail(self, mass: Fraction) -> None:
+        """Move ``mass`` from the frontier to observation failure."""
+        self._draw(mass)
+        self.fail += mass
+
+    def _draw(self, mass: Fraction) -> None:
+        if mass < 0:
+            raise ValueError("negative mass %s" % (mass,))
+        if mass > self.unresolved:
+            raise ValueError(
+                "drawing %s exceeds unresolved mass %s"
+                % (mass, self.unresolved)
+            )
+        self.unresolved -= mass
+
+    # -- queries ----------------------------------------------------------
+
+    def settled_mass(self) -> Fraction:
+        """Total resolved mass (terminal + fail)."""
+        return sum(self.terminal.values(), Fraction(0)) + self.fail
+
+    def success_bounds(self) -> Interval:
+        """Bounds on the success (non-failure, non-divergence) mass --
+        the denominator ``twlp_false t 1`` of Definition 3.4 lies in this
+        interval when the tree almost surely terminates."""
+        settled_success = sum(self.terminal.values(), Fraction(0))
+        return Interval(settled_success, settled_success + self.unresolved)
+
+    def unconditional_bounds(self, value: object) -> Interval:
+        """Bounds on the unconditional probability of terminating at
+        ``value`` (the ``twp_false t [== value]`` of Definition 3.2)."""
+        settled = self.terminal.get(value, Fraction(0))
+        return Interval(settled, settled + self.unresolved)
+
+    def fail_bounds(self) -> Interval:
+        """Bounds on the observation-failure mass."""
+        return Interval(self.fail, self.fail + self.unresolved)
+
+    def posterior_bounds(self, value: object) -> Interval:
+        """Bounds on the posterior probability of ``value`` given
+        success -- the ``tcwp`` ratio of Definition 3.4, as an interval.
+
+        Sound because the numerator mass is contained in the denominator
+        mass and unresolved mass may independently end up in either.
+        """
+        numerator = self.unconditional_bounds(value)
+        denominator = self.success_bounds()
+        if denominator.hi == 0:
+            raise ZeroDivisionError(
+                "all mass fails the observation: posterior undefined"
+            )
+        return divide_bounds(numerator, denominator)
+
+    def support(self) -> Tuple[object, ...]:
+        """Values with settled mass, in decreasing-mass order."""
+        return tuple(
+            value
+            for value, _mass in sorted(
+                self.terminal.items(),
+                key=lambda item: (-item[1], repr(item[0])),
+            )
+        )
+
+    def check_conservation(self) -> bool:
+        """The exact invariant: all mass is accounted for."""
+        return self.settled_mass() + self.unresolved == 1
+
+    def items(self) -> Iterable[Tuple[object, Fraction]]:
+        return self.terminal.items()
+
+    def __repr__(self):
+        return (
+            "MassAccount(settled=%s values, fail=%s, unresolved=%s, "
+            "expansions=%d)"
+            % (len(self.terminal), self.fail, self.unresolved, self.expansions)
+        )

@@ -1,0 +1,190 @@
+"""Program-level exact inference with guaranteed interval bounds.
+
+Entry points:
+
+- :func:`infer_posterior` -- enumerate the compiled CF tree of a program
+  and return a :class:`Posterior` with exact interval bounds on the
+  posterior probability of every discovered terminal state.
+- :meth:`Posterior.marginal` -- interval pmf over one program variable.
+- :func:`infer_query` -- bounds on ``cwp c [Q] sigma`` for a predicate
+  ``Q``, the quantity Theorem 4.2 equidistributes samples against.
+- :func:`refine_until` -- repeatedly double the enumeration budget until
+  the posterior bounds are uniformly tighter than a requested width.
+
+For almost-surely terminating programs the bounds contract to the true
+posterior; contradictory observations surface as a zero upper bound on
+success mass.  The bounds are *certificates*: unlike a sampler's
+empirical frequencies they cannot be wrong, only loose.
+"""
+
+from fractions import Fraction
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cftree.compile import compile_cpgcl
+from repro.inference.account import MassAccount
+from repro.inference.interval import Interval, divide_bounds
+from repro.inference.paths import enumerate_paths
+from repro.lang.state import State
+from repro.lang.syntax import Command
+
+
+class Posterior:
+    """Interval-valued posterior over terminal program states."""
+
+    __slots__ = ("account",)
+
+    def __init__(self, account: MassAccount):
+        self.account = account
+
+    @property
+    def exact(self) -> bool:
+        """True when enumeration resolved every path (zero slack)."""
+        return self.account.unresolved == 0
+
+    @property
+    def slack(self) -> Fraction:
+        """Unresolved mass: the uniform looseness of all bounds."""
+        return self.account.unresolved
+
+    def states(self) -> Tuple[State, ...]:
+        """Discovered terminal states, heaviest first."""
+        return self.account.support()
+
+    def probability(self, state: State) -> Interval:
+        """Posterior probability bounds for one terminal state."""
+        return self.account.posterior_bounds(state)
+
+    def pmf_bounds(self) -> Dict[State, Interval]:
+        """Posterior bounds for every discovered terminal state."""
+        return {
+            state: self.account.posterior_bounds(state)
+            for state in self.account.terminal
+        }
+
+    def query(self, predicate: Callable[[State], bool]) -> Interval:
+        """Bounds on the posterior probability of ``predicate``.
+
+        Settled mass satisfying the predicate is certain; unresolved mass
+        may or may not satisfy it, and may also fail the observation, so
+        it widens both the numerator and the denominator exactly as in
+        :meth:`MassAccount.posterior_bounds`.
+        """
+        matching = sum(
+            (
+                mass
+                for state, mass in self.account.terminal.items()
+                if predicate(state)
+            ),
+            Fraction(0),
+        )
+        numerator = Interval(matching, matching + self.account.unresolved)
+        denominator = self.account.success_bounds()
+        if denominator.hi == 0:
+            raise ZeroDivisionError(
+                "all mass fails the observation: posterior undefined"
+            )
+        return divide_bounds(numerator, denominator)
+
+    def marginal(self, var: str) -> Dict[object, Interval]:
+        """Interval pmf of one program variable under the posterior."""
+        masses: Dict[object, Fraction] = {}
+        for state, mass in self.account.terminal.items():
+            value = state[var]
+            masses[value] = masses.get(value, Fraction(0)) + mass
+        slack = self.account.unresolved
+        denominator = self.account.success_bounds()
+        if denominator.hi == 0:
+            raise ZeroDivisionError(
+                "all mass fails the observation: posterior undefined"
+            )
+        return {
+            value: divide_bounds(
+                Interval(mass, mass + slack), denominator
+            )
+            for value, mass in masses.items()
+        }
+
+    def mean_bounds(self, var: str) -> Optional[Interval]:
+        """Bounds on the posterior mean of an integer variable, *if* the
+        unresolved mass is zero (otherwise the mean is unbounded above by
+        unseen states and ``None`` is returned)."""
+        if not self.exact:
+            return None
+        total = self.account.success_bounds().lo
+        if total == 0:
+            raise ZeroDivisionError("posterior undefined (success mass 0)")
+        acc = Fraction(0)
+        for state, mass in self.account.terminal.items():
+            acc += Fraction(state[var]) * mass
+        return Interval.point(acc / total)
+
+    def __repr__(self):
+        return "Posterior(states=%d, slack=%s)" % (
+            len(self.account.terminal),
+            self.slack,
+        )
+
+
+def infer_posterior(
+    program: Command,
+    sigma: Optional[State] = None,
+    max_expansions: int = 10_000,
+    mass_tol: Optional[Fraction] = None,
+) -> Posterior:
+    """Exact-bound posterior of ``program`` from initial state ``sigma``.
+
+    Compiles to a CF tree (Definition 3.5) and enumerates paths
+    best-first; see :func:`repro.inference.paths.enumerate_paths` for the
+    stopping rule.
+    """
+    sigma = sigma if sigma is not None else State()
+    tree = compile_cpgcl(program, sigma)
+    account = enumerate_paths(
+        tree, max_expansions=max_expansions, mass_tol=mass_tol
+    )
+    return Posterior(account)
+
+
+def infer_query(
+    program: Command,
+    predicate: Callable[[State], bool],
+    sigma: Optional[State] = None,
+    max_expansions: int = 10_000,
+    mass_tol: Optional[Fraction] = None,
+) -> Interval:
+    """Bounds on ``cwp program [predicate] sigma`` by enumeration."""
+    posterior = infer_posterior(
+        program, sigma, max_expansions=max_expansions, mass_tol=mass_tol
+    )
+    return posterior.query(predicate)
+
+
+def refine_until(
+    program: Command,
+    width: Fraction,
+    sigma: Optional[State] = None,
+    initial_expansions: int = 256,
+    max_total_expansions: int = 1_000_000,
+) -> Posterior:
+    """Double the enumeration budget until ``slack <= width``.
+
+    Raises ``RuntimeError`` if the requested precision is not reached
+    within ``max_total_expansions`` -- e.g. for programs with nonzero
+    divergence probability, whose slack has a positive limit.
+    """
+    width = Fraction(width)
+    if width <= 0:
+        raise ValueError("width must be positive")
+    budget = initial_expansions
+    while True:
+        posterior = infer_posterior(
+            program, sigma, max_expansions=budget, mass_tol=width
+        )
+        if posterior.slack <= width:
+            return posterior
+        if budget >= max_total_expansions:
+            raise RuntimeError(
+                "slack %s still above %s after %d expansions"
+                % (posterior.slack, width, budget)
+            )
+        budget *= 2

@@ -1,0 +1,35 @@
+"""Interaction trees (Section 3.4).
+
+A Python emulation of the coinductive ITrees of Xia et al. (2020),
+specialized to the ``boolE`` event functor of Definition 3.10: the only
+event is ``GetBool``, a request for one fair random bit.  Coinduction is
+emulated with thunks -- ``Tau`` nodes carry a zero-argument closure and
+``Vis`` nodes carry the continuation, so trees are only ever forced
+finitely far, mirroring lazy corecursive unfolding.
+
+The pipeline entry point :func:`cpgcl_to_itree` (Definition 3.13) composes
+compile -> elim_choices -> debias -> to_itree_open -> tie_itree.
+"""
+
+from repro.itree.itree import ITree, Left, Ret, Right, Tau, Vis
+from repro.itree.combinators import bind, fmap, iter_itree
+from repro.itree.unfold import cpgcl_to_itree, tie_itree, to_itree_open
+from repro.itree.semantics import ItwpResult, itwp, itwp_tied
+
+__all__ = [
+    "ITree",
+    "ItwpResult",
+    "Left",
+    "Ret",
+    "Right",
+    "Tau",
+    "Vis",
+    "bind",
+    "cpgcl_to_itree",
+    "fmap",
+    "iter_itree",
+    "itwp",
+    "itwp_tied",
+    "tie_itree",
+    "to_itree_open",
+]

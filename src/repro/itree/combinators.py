@@ -1,0 +1,55 @@
+"""ITree combinators: ``bind``, ``fmap`` and ``iter`` (Xia et al. 2020).
+
+All combinators preserve laziness: they never force a ``Tau`` thunk and
+build their own continuations as closures, so unbounded processes (the
+``Fix`` translations of Definition 3.11 and the rejection restart of
+Definition 3.12) are represented in finite space and unfolded on demand.
+
+``iter_itree`` is the paper's ``ITree.iter``: given a step function
+``body : I -> ITree (I + R)``, iterate from an initial index, continuing
+on ``Left`` and returning on ``Right``.  Each loop turn is guarded by a
+``Tau`` node, exactly as the Coq combinator guards corecursive calls.
+"""
+
+from typing import Callable
+
+from repro.itree.itree import ITree, Left, Ret, Right, Tau, Vis
+
+
+def bind(tree: ITree, k: Callable[[object], ITree]) -> ITree:
+    """Sequence ``tree`` with continuation ``k`` on its return value."""
+    if isinstance(tree, Ret):
+        return k(tree.value)
+    if isinstance(tree, Tau):
+        return Tau(lambda: bind(tree.step(), k))
+    if isinstance(tree, Vis):
+        kont = tree.kont
+        return Vis(lambda bit: bind(kont(bit), k))
+    raise TypeError("not an interaction tree: %r" % (tree,))
+
+
+def fmap(tree: ITree, f: Callable[[object], object]) -> ITree:
+    """Map ``f`` over the return value (the paper's ``ITree.map``)."""
+    return bind(tree, lambda value: Ret(f(value)))
+
+
+def iter_itree(body: Callable[[object], ITree], init: object) -> ITree:
+    """``ITree.iter body init``: loop while ``body`` returns ``Left``.
+
+    ``body i`` computes one turn; ``Left j`` continues with index ``j``
+    (behind a ``Tau`` guard), ``Right r`` terminates with ``r``.
+    """
+
+    def turn(index: object) -> ITree:
+        return bind(body(index), dispatch)
+
+    def dispatch(outcome) -> ITree:
+        if isinstance(outcome, Left):
+            return Tau(lambda: turn(outcome.value))
+        if isinstance(outcome, Right):
+            return Ret(outcome.value)
+        raise TypeError(
+            "iter body must return Left/Right, got %r" % (outcome,)
+        )
+
+    return Tau(lambda: turn(init))

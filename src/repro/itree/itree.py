@@ -1,0 +1,114 @@
+"""The interaction tree data type (Definition 3.10).
+
+``ITree`` over the ``boolE`` event functor has three constructors:
+
+- ``Ret value`` -- a finished computation;
+- ``Tau thunk`` -- one silent step; the subtree is a lazily forced
+  zero-argument closure (this is what emulates coinduction: a corecursive
+  definition "guarded by Tau" simply closes over its own unfolding);
+- ``Vis kont`` -- the single event ``GetBool``: ask the environment for a
+  fair random bit and continue with ``kont(bit)``.
+
+``Left``/``Right`` are the sum injections ``inl``/``inr`` used to encode
+observation failure in ``T_it (1 + Sigma)`` (Section 3.4).
+"""
+
+from typing import Callable, Generic, TypeVar
+
+A = TypeVar("A")
+
+
+class Left:
+    """Sum injection ``inl`` (observation failure carries ``()``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value=()):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Left is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Left) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("Left", self.value))
+
+    def __repr__(self):
+        return "Left(%r)" % (self.value,)
+
+
+class Right:
+    """Sum injection ``inr`` (a successful terminal state)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Right is immutable")
+
+    def __eq__(self, other):
+        return isinstance(other, Right) and self.value == other.value
+
+    def __hash__(self):
+        return hash(("Right", self.value))
+
+    def __repr__(self):
+        return "Right(%r)" % (self.value,)
+
+
+class ITree(Generic[A]):
+    """Base class of interaction trees over the ``boolE`` event functor."""
+
+    __slots__ = ()
+
+
+class Ret(ITree[A]):
+    """A computation returning ``value``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: A):
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Ret is immutable")
+
+    def __repr__(self):
+        return "Ret(%r)" % (self.value,)
+
+
+class Tau(ITree[A]):
+    """A silent step; ``step()`` forces the next node."""
+
+    __slots__ = ("_thunk",)
+
+    def __init__(self, thunk: Callable[[], ITree]):
+        object.__setattr__(self, "_thunk", thunk)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Tau is immutable")
+
+    def step(self) -> ITree:
+        return self._thunk()
+
+    def __repr__(self):
+        return "Tau(<thunk>)"
+
+
+class Vis(ITree[A]):
+    """The ``GetBool`` event: consume one fair bit, continue via ``kont``."""
+
+    __slots__ = ("kont",)
+
+    def __init__(self, kont: Callable[[bool], ITree]):
+        object.__setattr__(self, "kont", kont)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Vis is immutable")
+
+    def __repr__(self):
+        return "Vis(GetBool, <kont>)"

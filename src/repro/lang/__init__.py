@@ -1,0 +1,98 @@
+"""The cpGCL language substrate.
+
+This subpackage implements the conditional probabilistic guarded command
+language of Definition 2.1 in the paper: program values, immutable program
+states, a first-class expression AST, the command AST, derived commands
+(``flip``, the discrete Laplace/Gaussian subroutines of Appendix C), a
+concrete syntax with lexer/parser, a pretty-printer, and a static checker.
+"""
+
+from repro.lang.errors import (
+    CpGCLError,
+    EvalError,
+    ParseError,
+    TypeCheckError,
+)
+from repro.lang.values import Value, is_value, value_eq
+from repro.lang.state import State
+from repro.lang.expr import (
+    BinOp,
+    Call,
+    Expr,
+    Lit,
+    Opaque,
+    UnOp,
+    Var,
+    to_expr,
+)
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+    seq,
+)
+from repro.lang.sugar import (
+    bernoulli_exponential,
+    bernoulli_exponential_0_1,
+    dueling_coins,
+    flip,
+    gaussian,
+    gaussian_0,
+    geometric_primes,
+    hare_tortoise,
+    laplace,
+    n_sided_die,
+)
+from repro.lang.pretty import pretty, pretty_expr
+from repro.lang.parser import parse_expr, parse_program
+from repro.lang.typecheck import check_program
+
+__all__ = [
+    "Assign",
+    "BinOp",
+    "Call",
+    "Choice",
+    "Command",
+    "CpGCLError",
+    "EvalError",
+    "Expr",
+    "Ite",
+    "Lit",
+    "Observe",
+    "Opaque",
+    "ParseError",
+    "Seq",
+    "Skip",
+    "State",
+    "TypeCheckError",
+    "UnOp",
+    "Uniform",
+    "Value",
+    "Var",
+    "While",
+    "bernoulli_exponential",
+    "bernoulli_exponential_0_1",
+    "check_program",
+    "dueling_coins",
+    "flip",
+    "gaussian",
+    "gaussian_0",
+    "geometric_primes",
+    "hare_tortoise",
+    "is_value",
+    "laplace",
+    "n_sided_die",
+    "parse_expr",
+    "parse_program",
+    "pretty",
+    "pretty_expr",
+    "seq",
+    "to_expr",
+    "value_eq",
+]

@@ -1,0 +1,97 @@
+"""Builtin functions callable from cpGCL expressions.
+
+The geometric-primes program of Figure 1a conditions on ``h is prime``; the
+discrete Laplace/Gaussian subroutines of Appendix C use ``even``, absolute
+value, and floors.  All builtins are pure, total on legal inputs, and work
+on exact values.
+"""
+
+from typing import Callable, Dict, NamedTuple
+
+from repro.lang.values import Value, as_fraction, as_int, normalize
+
+
+class Builtin(NamedTuple):
+    """A builtin: name, arity, and the exact implementation."""
+
+    name: str
+    arity: int
+    fn: Callable[..., Value]
+
+
+_PRIME_CACHE: Dict[int, bool] = {0: False, 1: False, 2: True, 3: True}
+
+
+def is_prime(n: Value) -> bool:
+    """Primality by trial division with memoization.
+
+    The posteriors in Section 5.2 have infinite support but their samplers
+    only ever query small arguments, so trial division is ample.
+    """
+    n = as_int(n)
+    if n < 0:
+        return False
+    cached = _PRIME_CACHE.get(n)
+    if cached is not None:
+        return cached
+    result = True
+    if n % 2 == 0:
+        result = n == 2
+    else:
+        d = 3
+        while d * d <= n:
+            if n % d == 0:
+                result = False
+                break
+            d += 2
+    _PRIME_CACHE[n] = result
+    return result
+
+
+def even(n: Value) -> bool:
+    return as_int(n) % 2 == 0
+
+
+def odd(n: Value) -> bool:
+    return as_int(n) % 2 == 1
+
+
+def abs_value(x: Value) -> Value:
+    return normalize(abs(as_fraction(x)))
+
+
+def floor(x: Value) -> int:
+    return as_fraction(x).__floor__()
+
+
+def ceil(x: Value) -> int:
+    return as_fraction(x).__ceil__()
+
+
+def min_value(a: Value, b: Value) -> Value:
+    return a if as_fraction(a) <= as_fraction(b) else b
+
+
+def max_value(a: Value, b: Value) -> Value:
+    return a if as_fraction(a) >= as_fraction(b) else b
+
+
+def square(x: Value) -> Value:
+    f = as_fraction(x)
+    return normalize(f * f)
+
+
+TABLE: Dict[str, Builtin] = {
+    builtin.name: builtin
+    for builtin in (
+        Builtin("is_prime", 1, is_prime),
+        Builtin("even", 1, even),
+        Builtin("odd", 1, odd),
+        Builtin("abs", 1, abs_value),
+        Builtin("floor", 1, floor),
+        Builtin("ceil", 1, ceil),
+        Builtin("min", 2, min_value),
+        Builtin("max", 2, max_value),
+        Builtin("square", 1, square),
+    )
+}

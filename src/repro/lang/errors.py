@@ -1,0 +1,63 @@
+"""Exception hierarchy for the cpGCL front end.
+
+All errors raised by the language layer derive from :class:`CpGCLError`, so
+callers can catch one type to handle any front-end failure.
+"""
+
+
+class CpGCLError(Exception):
+    """Base class for all cpGCL front-end errors."""
+
+
+class EvalError(CpGCLError):
+    """Raised when an expression cannot be evaluated in a given state.
+
+    Typical causes: reading an unbound variable in strict mode, a type
+    mismatch (e.g. adding a boolean to an integer), or division by zero.
+    """
+
+
+class ParseError(CpGCLError):
+    """Raised by the lexer or parser on malformed concrete syntax."""
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = "%d:%d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class TypeCheckError(CpGCLError):
+    """Raised by the static checker on an ill-formed program."""
+
+
+class ProbabilityRangeError(CpGCLError):
+    """Raised when a choice probability falls outside [0, 1].
+
+    Definition 2.1 (cpGCL-choice) requires ``0 <= p(sigma) <= 1`` for every
+    state; this error reports the violating state and value.
+    """
+
+    def __init__(self, value, state=None):
+        self.value = value
+        self.state = state
+        super().__init__(
+            "choice probability %s is outside [0, 1]%s"
+            % (value, "" if state is None else " in state %s" % (state,))
+        )
+
+
+class UniformRangeError(CpGCLError):
+    """Raised when a ``uniform`` bound is not a positive integer.
+
+    Definition 2.1 (cpGCL-uniform) requires ``0 < e(sigma)``.
+    """
+
+    def __init__(self, value, state=None):
+        self.value = value
+        self.state = state
+        super().__init__(
+            "uniform range %s is not a positive integer%s"
+            % (value, "" if state is None else " in state %s" % (state,))
+        )

@@ -1,0 +1,185 @@
+"""Direct operational interpreter for cpGCL.
+
+An independent *forward-sampling* semantics: execute a program step by
+step, resolving probabilistic choices with random draws and restarting
+from the initial state when an ``observe`` fails -- the operational
+reading of conditioning.  No compilation involved.
+
+This is deliberately redundant with the compiled pipeline: the
+differential-testing harness (:mod:`repro.verify.fuzz`) cross-checks the
+interpreter's empirical distribution against compiled samplers and
+against exact cwp inference, in the spirit of the ProbFuzz methodology
+the paper cites for evaluating PPL implementations.
+
+The interpreter draws randomness from the same :class:`BitSource`
+abstraction, consuming bits via the *same* uniform/Bernoulli tree
+constructions executed directly on the source -- so its entropy usage is
+comparable to the compiled sampler's, while its control path is
+completely different code.
+"""
+
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from repro.bits.source import BitSource, SystemBits
+from repro.cftree.tree import Choice, Fail, Fix, Leaf
+from repro.cftree.uniform import bernoulli_tree, uniform_tree
+from repro.lang.errors import ProbabilityRangeError, UniformRangeError
+from repro.lang.state import State
+from repro.lang.syntax import (
+    Assign,
+    Choice as ChoiceCmd,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.lang.values import as_bool, as_fraction, as_int
+
+
+class ObservationFailure(Exception):
+    """Raised internally when an ``observe`` predicate is violated."""
+
+
+class InterpreterLimits(Exception):
+    """The step or restart budget was exhausted."""
+
+
+def _run_tree(tree, source: BitSource):
+    """Execute a (finite or Fix-guarded) CF tree directly on a source."""
+    while True:
+        if isinstance(tree, Leaf):
+            return tree.value
+        if isinstance(tree, Fail):
+            raise ObservationFailure()
+        if isinstance(tree, Choice):
+            tree = tree.left if source.next_bit() else tree.right
+            continue
+        if isinstance(tree, Fix):
+            state = tree.init
+            while tree.guard(state):
+                state = _run_tree(tree.body(state), source)
+            tree = tree.cont(state)
+            continue
+        raise TypeError("not a CF tree: %r" % (tree,))
+
+
+def draw_bernoulli(p: Fraction, source: BitSource) -> bool:
+    """Draw Bernoulli(p) from fair bits (degenerate biases are free).
+
+    Uses the verified ``bernoulli_tree`` construction, so entropy usage
+    matches the compiled pipeline's for the same bias.
+    """
+    if p == 0:
+        return False
+    if p == 1:
+        return True
+    return _run_tree(bernoulli_tree(p), source)
+
+
+def draw_uniform(n: int, source: BitSource) -> int:
+    """Draw uniformly from ``{0 .. n-1}`` via ``uniform_tree``."""
+    return _run_tree(uniform_tree(n), source)
+
+
+# Internal aliases kept for the interpreter body below.
+_flip = draw_bernoulli
+_uniform = draw_uniform
+
+
+def execute_once(
+    command: Command,
+    sigma: State,
+    source: BitSource,
+    max_steps: Optional[int] = None,
+) -> State:
+    """One execution attempt; raises :class:`ObservationFailure` on a
+    violated observation and :class:`InterpreterLimits` on step budget."""
+    budget = [max_steps]
+
+    def tick():
+        if budget[0] is not None:
+            budget[0] -= 1
+            if budget[0] < 0:
+                raise InterpreterLimits("step budget exhausted")
+
+    def go(c: Command, s: State) -> State:
+        tick()
+        if isinstance(c, Skip):
+            return s
+        if isinstance(c, Assign):
+            return s.set(c.name, c.expr.eval(s))
+        if isinstance(c, Seq):
+            return go(c.second, go(c.first, s))
+        if isinstance(c, Observe):
+            if as_bool(c.pred.eval(s)):
+                return s
+            raise ObservationFailure()
+        if isinstance(c, Ite):
+            taken = c.then if as_bool(c.cond.eval(s)) else c.orelse
+            return go(taken, s)
+        if isinstance(c, ChoiceCmd):
+            p = as_fraction(c.prob.eval(s))
+            if not 0 <= p <= 1:
+                raise ProbabilityRangeError(p, s)
+            return go(c.left if _flip(p, source) else c.right, s)
+        if isinstance(c, Uniform):
+            n = as_int(c.range_expr.eval(s))
+            if n <= 0:
+                raise UniformRangeError(n, s)
+            return s.set(c.name, _uniform(n, source))
+        if isinstance(c, While):
+            current = s
+            while as_bool(c.cond.eval(current)):
+                tick()
+                current = go(c.body, current)
+            return current
+        raise TypeError("not a command: %r" % (c,))
+
+    return go(command, sigma)
+
+
+def interpret(
+    command: Command,
+    sigma: Optional[State] = None,
+    source: Optional[BitSource] = None,
+    seed: Optional[int] = None,
+    max_steps: Optional[int] = 1_000_000,
+    max_restarts: Optional[int] = 100_000,
+) -> State:
+    """Sample one terminal state, restarting on observation failure.
+
+    The operational counterpart of ``tie_itree``: rejected executions
+    are discarded and the program restarts from ``sigma``.
+    """
+    sigma = sigma if sigma is not None else State()
+    source = source if source is not None else SystemBits(seed)
+    attempts = 0
+    while True:
+        try:
+            return execute_once(command, sigma, source, max_steps)
+        except ObservationFailure:
+            attempts += 1
+            if max_restarts is not None and attempts > max_restarts:
+                raise InterpreterLimits(
+                    "observation failed %d times; conditioning event may "
+                    "have probability 0" % attempts
+                )
+
+
+def interpret_many(
+    command: Command,
+    n: int,
+    sigma: Optional[State] = None,
+    seed: Optional[int] = None,
+    **limits,
+) -> Tuple[State, ...]:
+    """Draw ``n`` independent samples with a shared seeded source."""
+    source = SystemBits(seed)
+    sigma = sigma if sigma is not None else State()
+    return tuple(
+        interpret(command, sigma, source=source, **limits) for _ in range(n)
+    )

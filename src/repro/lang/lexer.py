@@ -1,0 +1,120 @@
+"""Lexer for cpGCL concrete syntax.
+
+Hand-written maximal-munch scanner producing a list of tokens with line
+and column information for error reporting.  ``#`` starts a line comment.
+"""
+
+from typing import List, NamedTuple
+
+from repro.lang.errors import ParseError
+
+
+class Token(NamedTuple):
+    kind: str  # one of KINDS below
+    text: str
+    line: int
+    column: int
+
+
+KIND_IDENT = "IDENT"
+KIND_INT = "INT"
+KIND_KEYWORD = "KEYWORD"
+KIND_OP = "OP"
+KIND_EOF = "EOF"
+
+KEYWORDS = frozenset(
+    (
+        "skip",
+        "observe",
+        "if",
+        "else",
+        "while",
+        "uniform",
+        "flip",
+        "true",
+        "false",
+        "and",
+        "or",
+        "not",
+    )
+)
+
+# Longest operators first (maximal munch).
+_OPERATORS = (
+    "<~",
+    ":=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "//",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into a token list ending with an EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            text = source[start:i]
+            tokens.append(Token(KIND_INT, text, line, column))
+            column += len(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = KIND_KEYWORD if text in KEYWORDS else KIND_IDENT
+            tokens.append(Token(kind, text, line, column))
+            column += len(text)
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(KIND_OP, op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise ParseError("unexpected character %r" % ch, line, column)
+    tokens.append(Token(KIND_EOF, "", line, column))
+    return tokens

@@ -1,0 +1,408 @@
+"""Recursive-descent parser for cpGCL concrete syntax.
+
+Grammar (statements)::
+
+    program := stmt*                      (folded right with Seq)
+    stmt    := "skip" ";"
+             | IDENT ":=" expr ";"
+             | IDENT "<~" "uniform" "(" expr ")" ";"
+             | IDENT "<~" "flip" "(" expr ")" ";"
+             | "observe" expr ";"
+             | "if" expr block ("else" block)?
+             | "while" expr block
+             | block "[" expr "]" block ";"      (probabilistic choice)
+    block   := "{" stmt* "}"
+
+Expressions use precedence climbing with (loosest to tightest): ``||``,
+``&&``, comparisons, additive, multiplicative, unary, atoms.  Both the
+symbolic (``&& || !``) and keyword (``and or not``) connectives are
+accepted.
+
+The parser **folds constants**: an arithmetic operation whose operands are
+literals is reduced to a literal, so ``2/3`` parses to the rational literal
+``Lit(Fraction(2, 3))``.  This is what makes the pretty-printer/parser
+round trip exact: ``parse(pretty(c)) == fold_constants(c)``.
+"""
+
+from typing import List
+
+from repro.lang import builtins
+from repro.lang.errors import EvalError, ParseError
+from repro.lang.expr import BinOp, Call, Expr, Lit, UnOp, Var
+from repro.lang.lexer import (
+    KIND_EOF,
+    KIND_IDENT,
+    KIND_INT,
+    KIND_KEYWORD,
+    KIND_OP,
+    Token,
+    tokenize,
+)
+from repro.lang.state import State
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Skip,
+    Uniform,
+    While,
+    seq,
+)
+
+_CMP_OPS = ("==", "!=", "<=", ">=", "<", ">")
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/", "//", "%")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str = None) -> bool:
+        token = self._peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def _match(self, kind: str, text: str = None) -> bool:
+        if self._check(kind, text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: str, text: str = None) -> Token:
+        token = self._peek()
+        if not self._check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(
+                "expected %r, found %r" % (want, token.text or "<eof>"),
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    # -- statements ------------------------------------------------------
+
+    def program(self) -> Command:
+        commands = []
+        while not self._check(KIND_EOF):
+            commands.append(self.statement())
+        return seq(commands)
+
+    def block(self) -> Command:
+        self._expect(KIND_OP, "{")
+        commands = []
+        while not self._check(KIND_OP, "}"):
+            commands.append(self.statement())
+        self._expect(KIND_OP, "}")
+        return seq(commands)
+
+    def statement(self) -> Command:
+        token = self._peek()
+        if self._match(KIND_KEYWORD, "skip"):
+            self._expect(KIND_OP, ";")
+            return Skip()
+        if self._match(KIND_KEYWORD, "observe"):
+            pred = self.expression()
+            self._expect(KIND_OP, ";")
+            return Observe(pred)
+        if self._match(KIND_KEYWORD, "if"):
+            cond = self.expression()
+            then = self.block()
+            orelse: Command = Skip()
+            if self._match(KIND_KEYWORD, "else"):
+                orelse = self.block()
+            return Ite(cond, then, orelse)
+        if self._match(KIND_KEYWORD, "while"):
+            cond = self.expression()
+            body = self.block()
+            return While(cond, body)
+        if self._check(KIND_OP, "{"):
+            left = self.block()
+            self._expect(KIND_OP, "[")
+            prob = self.expression()
+            self._expect(KIND_OP, "]")
+            right = self.block()
+            self._expect(KIND_OP, ";")
+            return Choice(prob, left, right)
+        if token.kind == KIND_IDENT:
+            name = self._advance().text
+            if self._match(KIND_OP, ":="):
+                value = self.expression()
+                self._expect(KIND_OP, ";")
+                return Assign(name, value)
+            if self._match(KIND_OP, "<~"):
+                return self._sampling(name)
+            raise ParseError(
+                "expected ':=' or '<~' after identifier %r" % name,
+                token.line,
+                token.column,
+            )
+        raise ParseError(
+            "expected a statement, found %r" % (token.text or "<eof>"),
+            token.line,
+            token.column,
+        )
+
+    def _sampling(self, name: str) -> Command:
+        token = self._peek()
+        if self._match(KIND_KEYWORD, "uniform"):
+            self._expect(KIND_OP, "(")
+            bound = self.expression()
+            self._expect(KIND_OP, ")")
+            self._expect(KIND_OP, ";")
+            return Uniform(bound, name)
+        if self._match(KIND_KEYWORD, "flip"):
+            self._expect(KIND_OP, "(")
+            prob = self.expression()
+            self._expect(KIND_OP, ")")
+            self._expect(KIND_OP, ";")
+            return Choice(prob, Assign(name, True), Assign(name, False))
+        raise ParseError(
+            "expected 'uniform' or 'flip' after '<~', found %r"
+            % (token.text or "<eof>"),
+            token.line,
+            token.column,
+        )
+
+    # -- expressions -----------------------------------------------------
+
+    def expression(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        expr = self._and()
+        while self._check_op("||") or self._check(KIND_KEYWORD, "or"):
+            self._advance()
+            expr = _fold(BinOp("or", expr, self._and()))
+        return expr
+
+    def _and(self) -> Expr:
+        expr = self._comparison()
+        while self._check_op("&&") or self._check(KIND_KEYWORD, "and"):
+            self._advance()
+            expr = _fold(BinOp("and", expr, self._comparison()))
+        return expr
+
+    def _comparison(self) -> Expr:
+        expr = self._additive()
+        while any(self._check_op(op) for op in _CMP_OPS):
+            op = self._advance().text
+            expr = _fold(BinOp(op, expr, self._additive()))
+        return expr
+
+    def _additive(self) -> Expr:
+        expr = self._multiplicative()
+        while any(self._check_op(op) for op in _ADD_OPS):
+            op = self._advance().text
+            expr = _fold(BinOp(op, expr, self._multiplicative()))
+        return expr
+
+    def _multiplicative(self) -> Expr:
+        expr = self._unary()
+        while any(self._check_op(op) for op in _MUL_OPS):
+            op = self._advance().text
+            expr = _fold(BinOp(op, expr, self._unary()))
+        return expr
+
+    def _unary(self) -> Expr:
+        if self._check_op("!") or self._check(KIND_KEYWORD, "not"):
+            self._advance()
+            return _fold(UnOp("not", self._unary()))
+        if self._check_op("-"):
+            self._advance()
+            return _fold(UnOp("-", self._unary()))
+        return self._atom()
+
+    def _atom(self) -> Expr:
+        token = self._peek()
+        if self._match(KIND_KEYWORD, "true"):
+            return Lit(True)
+        if self._match(KIND_KEYWORD, "false"):
+            return Lit(False)
+        if token.kind == KIND_INT:
+            self._advance()
+            return Lit(int(token.text))
+        if token.kind == KIND_IDENT:
+            name = self._advance().text
+            if self._match(KIND_OP, "("):
+                args = []
+                if not self._check(KIND_OP, ")"):
+                    args.append(self.expression())
+                    while self._match(KIND_OP, ","):
+                        args.append(self.expression())
+                self._expect(KIND_OP, ")")
+                if name not in builtins.TABLE:
+                    raise ParseError(
+                        "unknown builtin %r" % name, token.line, token.column
+                    )
+                try:
+                    return Call(name, args)
+                except ValueError as exc:
+                    raise ParseError(str(exc), token.line, token.column)
+            return Var(name)
+        if self._match(KIND_OP, "("):
+            expr = self.expression()
+            self._expect(KIND_OP, ")")
+            return expr
+        raise ParseError(
+            "expected an expression, found %r" % (token.text or "<eof>"),
+            token.line,
+            token.column,
+        )
+
+    def _check_op(self, text: str) -> bool:
+        return self._check(KIND_OP, text)
+
+
+def _fold(expr: Expr) -> Expr:
+    """Reduce operations on literals to literals (constant folding).
+
+    Folding is skipped when evaluation would fail (e.g. division by zero),
+    leaving the error to evaluation time as the dynamic semantics dictates.
+    """
+    if isinstance(expr, BinOp):
+        if isinstance(expr.lhs, Lit) and isinstance(expr.rhs, Lit):
+            try:
+                return Lit(expr.eval(State.empty()))
+            except (EvalError, TypeError):
+                return expr
+        return expr
+    if isinstance(expr, UnOp) and isinstance(expr.arg, Lit):
+        try:
+            return Lit(expr.eval(State.empty()))
+        except (EvalError, TypeError):
+            return expr
+    return expr
+
+
+def fold_constants_expr(expr: Expr) -> Expr:
+    """Recursively fold literal arithmetic inside an expression."""
+    if isinstance(expr, BinOp):
+        return _fold(
+            BinOp(
+                expr.op,
+                fold_constants_expr(expr.lhs),
+                fold_constants_expr(expr.rhs),
+            )
+        )
+    if isinstance(expr, UnOp):
+        return _fold(UnOp(expr.op, fold_constants_expr(expr.arg)))
+    if isinstance(expr, Call):
+        return Call(expr.func, [fold_constants_expr(a) for a in expr.args])
+    return expr
+
+
+def fold_constants(command: Command) -> Command:
+    """Recursively fold literal arithmetic inside a command.
+
+    ``parse(pretty(c)) == fold_constants(c)`` for every opaque-free
+    command ``c`` -- the round-trip property tested by the suite.
+    """
+    from repro.lang.syntax import Seq
+
+    if isinstance(command, Skip):
+        return command
+    if isinstance(command, Assign):
+        return Assign(command.name, fold_constants_expr(command.expr))
+    if isinstance(command, Seq):
+        return Seq(fold_constants(command.first), fold_constants(command.second))
+    if isinstance(command, Observe):
+        return Observe(fold_constants_expr(command.pred))
+    if isinstance(command, Ite):
+        return Ite(
+            fold_constants_expr(command.cond),
+            fold_constants(command.then),
+            fold_constants(command.orelse),
+        )
+    if isinstance(command, Choice):
+        return Choice(
+            fold_constants_expr(command.prob),
+            fold_constants(command.left),
+            fold_constants(command.right),
+        )
+    if isinstance(command, Uniform):
+        return Uniform(fold_constants_expr(command.range_expr), command.name)
+    if isinstance(command, While):
+        return While(
+            fold_constants_expr(command.cond), fold_constants(command.body)
+        )
+    raise TypeError("not a command: %r" % (command,))
+
+
+def reassociate_seq(command: Command) -> Command:
+    """Right-associate and flatten nested ``Seq`` chains.
+
+    ``Seq`` is semantically associative (wp composes functionally), and
+    the parser always produces right-nested sequences; this normalizer
+    maps any equivalent nesting onto that shape.
+    """
+    from repro.lang.syntax import Seq
+
+    def flatten(c, acc):
+        if isinstance(c, Seq):
+            flatten(c.first, acc)
+            flatten(c.second, acc)
+        else:
+            acc.append(_reassociate_children(c))
+        return acc
+
+    parts = flatten(command, [])
+    return seq(parts)
+
+
+def _reassociate_children(command: Command) -> Command:
+    if isinstance(command, Ite):
+        return Ite(
+            command.cond,
+            reassociate_seq(command.then),
+            reassociate_seq(command.orelse),
+        )
+    if isinstance(command, Choice):
+        return Choice(
+            command.prob,
+            reassociate_seq(command.left),
+            reassociate_seq(command.right),
+        )
+    if isinstance(command, While):
+        return While(command.cond, reassociate_seq(command.body))
+    return command
+
+
+def canonicalize(command: Command) -> Command:
+    """The parser's canonical form: right-nested sequences with folded
+    literal arithmetic.  ``parse_program(pretty(c)) == canonicalize(c)``
+    for every opaque-free command ``c``."""
+    return fold_constants(reassociate_seq(command))
+
+
+def parse_program(source: str) -> Command:
+    """Parse a whole program (a statement sequence) from source text."""
+    return _Parser(tokenize(source)).program()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression from source text."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expression()
+    token = parser._peek()
+    if token.kind != KIND_EOF:
+        raise ParseError(
+            "trailing input after expression: %r" % token.text,
+            token.line,
+            token.column,
+        )
+    return expr

@@ -1,0 +1,172 @@
+"""Pretty-printer for cpGCL concrete syntax.
+
+The output parses back with :func:`repro.lang.parser.parse_program`:
+``parse(pretty(c))`` equals ``c`` up to constant folding of literal
+arithmetic (the parser folds e.g. ``2/3`` into the rational literal 2/3;
+see the parser module docstring).
+
+Concrete syntax summary::
+
+    skip;                     x := e;
+    x <~ uniform(e);          x <~ flip(p);
+    observe e;
+    if e { ... } else { ... }
+    while e { ... }
+    { ... } [p] { ... };      # probabilistic choice
+
+Boolean connectives print as ``&&``, ``||``, ``!``; comments are ``#``.
+"""
+
+from fractions import Fraction
+
+from repro.lang.expr import BinOp, Call, Expr, Lit, Opaque, UnOp, Var
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+
+# Binding strength: higher binds tighter.  Used to decide parenthesization.
+_PREC_OR = 1
+_PREC_AND = 2
+_PREC_CMP = 3
+_PREC_ADD = 4
+_PREC_MUL = 5
+_PREC_UNARY = 6
+_PREC_ATOM = 7
+
+_BINOP_PREC = {
+    "or": _PREC_OR,
+    "and": _PREC_AND,
+    "==": _PREC_CMP,
+    "!=": _PREC_CMP,
+    "<": _PREC_CMP,
+    "<=": _PREC_CMP,
+    ">": _PREC_CMP,
+    ">=": _PREC_CMP,
+    "+": _PREC_ADD,
+    "-": _PREC_ADD,
+    "*": _PREC_MUL,
+    "/": _PREC_MUL,
+    "//": _PREC_MUL,
+    "%": _PREC_MUL,
+}
+
+_BINOP_TOKEN = {"or": "||", "and": "&&"}
+
+
+def pretty_expr(expr: Expr) -> str:
+    """Render an expression in concrete syntax."""
+    return _expr(expr, 0)
+
+
+def _expr(expr: Expr, context_prec: int) -> str:
+    if isinstance(expr, Lit):
+        text = _literal(expr.value)
+        # Negative/fractional literals re-parse as unary/binary operator
+        # applications, so protect them in tight contexts.
+        needs_parens = (
+            context_prec >= _PREC_UNARY and text.startswith("-")
+        ) or (context_prec >= _PREC_MUL and "/" in text)
+        return "(%s)" % text if needs_parens else text
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, UnOp):
+        token = "!" if expr.op == "not" else "-"
+        body = _expr(expr.arg, _PREC_UNARY)
+        text = token + body
+        return "(%s)" % text if context_prec > _PREC_UNARY else text
+    if isinstance(expr, BinOp):
+        prec = _BINOP_PREC[expr.op]
+        token = _BINOP_TOKEN.get(expr.op, expr.op)
+        # All binary operators associate to the left in the parser, so the
+        # right operand needs strictly-tighter printing.
+        left = _expr(expr.lhs, prec)
+        right = _expr(expr.rhs, prec + 1)
+        text = "%s %s %s" % (left, token, right)
+        return "(%s)" % text if prec < context_prec else text
+    if isinstance(expr, Call):
+        args = ", ".join(_expr(arg, 0) for arg in expr.args)
+        return "%s(%s)" % (expr.func, args)
+    if isinstance(expr, Opaque):
+        raise ValueError(
+            "opaque expression %s has no concrete syntax" % (expr.label,)
+        )
+    raise TypeError("not an expression: %r" % (expr,))
+
+
+def _literal(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, Fraction):
+        return "%d/%d" % (value.numerator, value.denominator)
+    return str(value)
+
+
+def pretty(command: Command, indent: int = 0) -> str:
+    """Render a command in concrete syntax, one statement per line."""
+    return "\n".join(_stmt(command, indent))
+
+
+def _stmt(command: Command, depth: int):
+    pad = "    " * depth
+    if isinstance(command, Skip):
+        return [pad + "skip;"]
+    if isinstance(command, Assign):
+        return [pad + "%s := %s;" % (command.name, pretty_expr(command.expr))]
+    if isinstance(command, Seq):
+        return _stmt(command.first, depth) + _stmt(command.second, depth)
+    if isinstance(command, Observe):
+        return [pad + "observe %s;" % pretty_expr(command.pred)]
+    if isinstance(command, Uniform):
+        return [
+            pad
+            + "%s <~ uniform(%s);"
+            % (command.name, pretty_expr(command.range_expr))
+        ]
+    if isinstance(command, Ite):
+        lines = [pad + "if %s {" % pretty_expr(command.cond)]
+        lines += _stmt(command.then, depth + 1)
+        if isinstance(command.orelse, Skip):
+            lines.append(pad + "}")
+        else:
+            lines.append(pad + "} else {")
+            lines += _stmt(command.orelse, depth + 1)
+            lines.append(pad + "}")
+        return lines
+    if isinstance(command, While):
+        lines = [pad + "while %s {" % pretty_expr(command.cond)]
+        lines += _stmt(command.body, depth + 1)
+        lines.append(pad + "}")
+        return lines
+    if isinstance(command, Choice):
+        sugar = _flip_sugar(command)
+        if sugar is not None:
+            return [pad + sugar]
+        lines = [pad + "{"]
+        lines += _stmt(command.left, depth + 1)
+        lines.append(pad + "} [%s] {" % pretty_expr(command.prob))
+        lines += _stmt(command.right, depth + 1)
+        lines.append(pad + "};")
+        return lines
+    raise TypeError("not a command: %r" % (command,))
+
+
+def _flip_sugar(command: Choice):
+    """Recognize ``flip`` (Definition 5.1) and print it as such."""
+    left, right = command.left, command.right
+    if (
+        isinstance(left, Assign)
+        and isinstance(right, Assign)
+        and left.name == right.name
+        and left.expr == Lit(True)
+        and right.expr == Lit(False)
+    ):
+        return "%s <~ flip(%s);" % (left.name, pretty_expr(command.prob))
+    return None

@@ -1,0 +1,125 @@
+"""Immutable program states.
+
+A program state ``sigma : Sigma`` maps identifiers to values.  States are
+immutable and hashable:
+
+- immutability makes the compiler of Definition 3.5 (which closes over
+  states inside ``Fix`` nodes) safe without defensive copying, and
+- hashability is what lets the exact loop solver (``repro.semantics``)
+  memoize weakest pre-expectations per reachable state and set up one linear
+  unknown per state.
+
+Unbound variables read as integer ``0`` by default, matching the paper's
+convention that e.g. the counter ``h`` in the geometric-primes program of
+Figure 1a starts at 0 without explicit initialization.  A strict mode is
+available for the static checker and for tests.
+"""
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.lang.errors import EvalError
+from repro.lang.values import Value, is_value, normalize
+
+
+class State:
+    """An immutable, hashable mapping from identifiers to values."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, mapping: Optional[Dict[str, Value]] = None, **kwargs: Value):
+        items: Dict[str, Value] = {}
+        if mapping:
+            items.update(mapping)
+        if kwargs:
+            items.update(kwargs)
+        for name, value in items.items():
+            if not isinstance(name, str):
+                raise TypeError("variable names must be strings: %r" % (name,))
+            if not is_value(value):
+                raise TypeError(
+                    "illegal value %r for variable %s" % (value, name)
+                )
+        # Dropping default-valued (0) bindings gives a canonical form, so
+        # that sigma[x := 0] == sigma when x was unbound -- important for
+        # state-space finiteness in the exact loop solver.
+        self._items: Tuple[Tuple[str, Value], ...] = tuple(
+            sorted(
+                (name, normalize(value))
+                for name, value in items.items()
+                if not _is_default(normalize(value))
+            )
+        )
+        self._hash = hash(self._items)
+
+    @staticmethod
+    def empty() -> "State":
+        """The state binding nothing (every variable reads as 0)."""
+        return _EMPTY
+
+    def get(self, name: str, strict: bool = False) -> Value:
+        """Read variable ``name``; unbound variables read as 0.
+
+        With ``strict=True`` an unbound read raises :class:`EvalError`
+        instead (used by tests and the static checker).
+        """
+        for key, value in self._items:
+            if key == name:
+                return value
+        if strict:
+            raise EvalError("unbound variable %r" % (name,))
+        return 0
+
+    def set(self, name: str, value: Value) -> "State":
+        """Return a new state with ``name`` bound to ``value``."""
+        if not is_value(value):
+            raise TypeError("illegal value %r for variable %s" % (value, name))
+        new = dict(self._items)
+        new[name] = value
+        return State(new)
+
+    def update(self, mapping: Dict[str, Value]) -> "State":
+        """Return a new state with all bindings in ``mapping`` applied."""
+        new = dict(self._items)
+        new.update(mapping)
+        return State(new)
+
+    def bound(self) -> Tuple[str, ...]:
+        """Names bound to a non-default value, sorted."""
+        return tuple(name for name, _ in self._items)
+
+    def items(self) -> Tuple[Tuple[str, Value], ...]:
+        return self._items
+
+    def __getitem__(self, name: str) -> Value:
+        return self.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key == name for key, _ in self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return (name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, State):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "State()"
+        body = ", ".join("%s=%r" % (name, value) for name, value in self._items)
+        return "State(%s)" % body
+
+
+def _is_default(value: Value) -> bool:
+    """True for the implicit value of unbound variables (integer 0)."""
+    return value == 0 and not isinstance(value, bool)
+
+
+_EMPTY = State()

@@ -1,0 +1,287 @@
+"""Derived commands and the paper's example programs.
+
+This module transcribes, as Python builders over the cpGCL AST:
+
+- ``flip`` (Definition 5.1);
+- the geometric-primes program (Figure 1a);
+- the dueling-coins program (Figure 8a);
+- the n-sided die (Figure 8b);
+- the Appendix C subroutines ``bernoulli_exponential_0_1``,
+  ``bernoulli_exponential`` (Figure 11), ``laplace`` (Figure 12),
+  ``gaussian_0``/``gaussian`` (Figure 13), following the discrete
+  Laplace/Gaussian sampling algorithms of Canonne et al. (2020);
+- the hare-and-tortoise race (Figure 9a).
+
+Subroutines clobber fixed helper variables exactly as in the paper
+(``k a i b lp d v il x y c ol``); an optional ``ns`` prefix namespaces them
+when a caller's variables would collide.
+"""
+
+from fractions import Fraction
+
+from repro.lang.expr import Call, Expr, Lit, Var, to_expr
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+    seq,
+)
+
+
+def flip(x: str, p) -> Command:
+    """``flip x p``: assign ``x`` the outcome of a coin with bias ``p``.
+
+    Definition 5.1: ``{ x <- true } [p] { x <- false }``.
+    """
+    return Choice(p, Assign(x, True), Assign(x, False))
+
+
+def geometric_primes(p) -> Command:
+    """The 'primes' program of Figure 1a.
+
+    Flip a coin with bias ``p`` of heads; while heads, increment ``h`` and
+    reflip; finally condition on ``h`` being prime.  The posterior over
+    ``h`` is the geometric distribution restricted to the primes.
+    """
+    h = Var("h")
+    return seq(
+        [
+            flip("b", p),
+            While(Var("b"), seq([Assign("h", h + 1), flip("b", p)])),
+            Observe(Call("is_prime", [h])),
+        ]
+    )
+
+
+def dueling_coins(p) -> Command:
+    """The dueling-coins program of Figure 8a.
+
+    An i.i.d. loop simulating a fair coin with a biased one: flip two
+    ``p``-biased coins until they disagree.  The posterior over ``a`` is
+    Bernoulli(1/2) for any ``p`` in (0, 1).
+    """
+    return seq(
+        [
+            Assign("a", False),
+            Assign("b", False),
+            While(
+                Var("a").eq(Var("b")),
+                Seq(flip("a", p), flip("b", p)),
+            ),
+        ]
+    )
+
+
+def n_sided_die(n: int) -> Command:
+    """Rolling an n-sided die (Figure 8b): ``uniform n (\\m. x <- m+1)``."""
+    if n <= 0:
+        raise ValueError("die must have a positive number of sides")
+    return Seq(Uniform(n, "m"), Assign("x", Var("m") + 1))
+
+
+def bernoulli_exponential_0_1(out: str, gamma, ns: str = "") -> Command:
+    """Sample ``out ~ Bernoulli(exp(-gamma))`` for ``0 <= gamma <= 1``
+    (Figure 11, top).
+
+    The loop flips ``k -> k+1`` with the *state-dependent* probability
+    ``gamma/(k+1)`` (this is the construct that motivates compiling through
+    choice-fix trees rather than a source-to-source debiasing); ``out`` is
+    true iff the final counter is even.
+    """
+    gamma = to_expr(gamma)
+    k = Var(ns + "k")
+    a = Var(ns + "a")
+    return seq(
+        [
+            Assign(ns + "k", 0),
+            Assign(ns + "a", True),
+            While(
+                a,
+                Choice(
+                    gamma / (k + 1),
+                    Assign(ns + "k", k + 1),
+                    Assign(ns + "a", False),
+                ),
+            ),
+            Ite(Call("even", [k]), Assign(out, True), Assign(out, False)),
+        ]
+    )
+
+
+def bernoulli_exponential(out: str, gamma, ns: str = "") -> Command:
+    """Sample ``out ~ Bernoulli(exp(-gamma))`` for any ``gamma >= 0``
+    (Figure 11, bottom).
+
+    For ``gamma > 1``, decompose ``exp(-gamma)`` as
+    ``exp(-1)^floor(gamma) * exp(-(gamma - floor(gamma)))``.
+    """
+    gamma = to_expr(gamma)
+    i = Var(ns + "i")
+    b = Var(ns + "b")
+    return Ite(
+        gamma <= 1,
+        bernoulli_exponential_0_1(out, gamma, ns),
+        seq(
+            [
+                Assign(ns + "i", 1),
+                Assign(ns + "b", True),
+                While(
+                    b & (i <= gamma),
+                    Seq(
+                        bernoulli_exponential_0_1(ns + "b", 1, ns),
+                        Assign(ns + "i", i + 1),
+                    ),
+                ),
+                Ite(
+                    b,
+                    bernoulli_exponential_0_1(
+                        out, gamma - Call("floor", [gamma]), ns
+                    ),
+                    Assign(out, False),
+                ),
+            ]
+        ),
+    )
+
+
+def laplace(out: str, s: int, t: int, ns: str = "") -> Command:
+    """Sample ``out ~ Lap_Z(t/s)`` -- the discrete Laplace distribution
+    with scale ``t/s`` (Figure 12; Canonne et al. 2020, Algorithm 2).
+
+    ``s`` and ``t`` are positive integer constants.  Clobbers the helper
+    variables ``u d v il x y c lp`` (prefixed by ``ns``).
+    """
+    if s <= 0 or t <= 0:
+        raise ValueError("laplace requires positive integers s and t")
+    u = Var(ns + "u")
+    d = Var(ns + "d")
+    v = Var(ns + "v")
+    il = Var(ns + "il")
+    x = Var(ns + "x")
+    y = Var(ns + "y")
+    c = Var(ns + "c")
+    lp = Var(ns + "lp")
+    body = seq(
+        [
+            Uniform(t, ns + "u"),
+            bernoulli_exponential(ns + "d", u / t, ns),
+            Ite(
+                d,
+                seq(
+                    [
+                        Assign(ns + "v", 0),
+                        bernoulli_exponential(ns + "il", 1, ns),
+                        While(
+                            il,
+                            Seq(
+                                Assign(ns + "v", v + 1),
+                                bernoulli_exponential(ns + "il", 1, ns),
+                            ),
+                        ),
+                        Assign(ns + "x", u + t * v),
+                        Assign(ns + "y", x // s),
+                        flip(ns + "c", Fraction(1, 2)),
+                        Ite(
+                            c & y.eq(0),
+                            Skip(),
+                            Seq(
+                                Assign(ns + "lp", False),
+                                # out <- (1 - 2[c]) * y: negate when c.
+                                Ite(c, Assign(out, -y), Assign(out, y)),
+                            ),
+                        ),
+                    ]
+                ),
+                Skip(),
+            ),
+        ]
+    )
+    return Seq(Assign(ns + "lp", True), While(lp, body))
+
+
+def gaussian_0(z: str, sigma, ns: str = "") -> Command:
+    """Sample ``z ~ N_Z(0, sigma^2)`` -- the centered discrete Gaussian
+    (Figure 13, top; Canonne et al. 2020, Algorithm 3).
+
+    Rejection-samples a discrete Laplace with scale ``t = floor(sigma)+1``
+    and accepts with probability ``exp(-(|z| - sigma^2/t)^2 / (2 sigma^2))``.
+    ``sigma`` must be a positive rational constant.
+    """
+    sigma = Fraction(sigma)
+    if sigma <= 0:
+        raise ValueError("gaussian requires sigma > 0")
+    t = int(sigma) + 1
+    sigma_sq = sigma * sigma
+    ol = Var(ns + "ol")
+    z_var = Var(z)
+    deviation = Call("abs", [z_var]) - Lit(sigma_sq / t)
+    gamma = Call("square", [deviation]) / Lit(2 * sigma_sq)
+    return seq(
+        [
+            Assign(ns + "ol", False),
+            While(
+                ~ol,
+                Seq(
+                    laplace(z, 1, t, ns),
+                    bernoulli_exponential(ns + "ol", gamma, ns),
+                ),
+            ),
+        ]
+    )
+
+
+def gaussian(out: str, mu, sigma, ns: str = "") -> Command:
+    """Sample ``out ~ N_Z(mu, sigma^2)`` (Figure 13, bottom).
+
+    ``mu`` may be any integer-valued expression; entropy usage depends only
+    on ``sigma``.
+    """
+    return Seq(
+        gaussian_0(out, sigma, ns),
+        Assign(out, Var(out) + to_expr(mu)),
+    )
+
+
+def hare_tortoise(pred) -> Command:
+    """The hare-and-tortoise race of Figure 9a.
+
+    The tortoise starts with a uniform head start ``t0 < 10`` and advances
+    one unit per time step; the hare starts at 0 and, with probability 2/5
+    per step, leaps forward a discrete-Gaussian(4, 2^2) distance.  The
+    terminal state (when the hare catches up) is conditioned on ``pred``.
+    """
+    hare = Var("hare")
+    tortoise = Var("tortoise")
+    time = Var("time")
+    return seq(
+        [
+            Uniform(10, "t0"),
+            Assign("tortoise", Var("t0")),
+            Assign("hare", 0),
+            Assign("time", 0),
+            While(
+                hare < tortoise,
+                seq(
+                    [
+                        Assign("time", time + 1),
+                        Assign("tortoise", tortoise + 1),
+                        Choice(
+                            Fraction(2, 5),
+                            Seq(
+                                gaussian("jump", 4, 2),
+                                Assign("hare", hare + Var("jump")),
+                            ),
+                            Skip(),
+                        ),
+                    ]
+                ),
+            ),
+            Observe(pred),
+        ]
+    )

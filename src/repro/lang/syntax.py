@@ -1,0 +1,341 @@
+"""The cpGCL command AST (Definition 2.1).
+
+Constructors mirror the inductive type of the paper:
+
+==================  =====================================================
+Paper               Here
+==================  =====================================================
+``skip``            :class:`Skip`
+``x <- e``          :class:`Assign`
+``c1; c2``          :class:`Seq` (binary; :func:`seq` folds a list)
+``observe e``       :class:`Observe`
+``if e ...``        :class:`Ite`
+``{c1} [p] {c2}``   :class:`Choice` (``p`` may depend on the state)
+``uniform e k``     :class:`Uniform` -- see the deviation note below
+``while e do c``    :class:`While`
+==================  =====================================================
+
+Deviation (documented in DESIGN.md section 2): the paper's ``uniform e k``
+takes a higher-order continuation ``k : N -> cpGCL``.  Every use in the
+paper instantiates ``k`` as "bind the drawn number to a variable, then
+continue", so we represent the binding form directly: ``Uniform(e, x)``
+draws ``0 <= n < e(sigma)`` uniformly and stores it in ``x``.  The general
+form is recovered as ``Seq(Uniform(e, x), rest)``.
+"""
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.lang.expr import Expr, to_expr
+
+
+class Command:
+    """Base class of cpGCL commands."""
+
+    __slots__ = ()
+
+    def free_vars(self) -> FrozenSet[str]:
+        """Variables read by this command (in expressions)."""
+        raise NotImplementedError
+
+    def assigned_vars(self) -> FrozenSet[str]:
+        """Variables this command may write ("clobbered" variables,
+        in the terminology of Appendix C)."""
+        raise NotImplementedError
+
+    def __rshift__(self, other: "Command") -> "Command":
+        """``c1 >> c2`` builds ``Seq(c1, c2)``."""
+        return Seq(self, other)
+
+
+class Skip(Command):
+    """The no-op command."""
+
+    __slots__ = ()
+
+    def free_vars(self):
+        return frozenset()
+
+    def assigned_vars(self):
+        return frozenset()
+
+    def __eq__(self, other):
+        return isinstance(other, Skip)
+
+    def __hash__(self):
+        return hash("Skip")
+
+    def __repr__(self):
+        return "Skip()"
+
+
+class Assign(Command):
+    """``x <- e``: assign the value of ``e`` to ``x``."""
+
+    __slots__ = ("name", "expr")
+
+    def __init__(self, name: str, expr):
+        if not isinstance(name, str) or not name:
+            raise TypeError("assignment target must be a non-empty string")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "expr", to_expr(expr))
+
+    def __setattr__(self, *_):
+        raise AttributeError("Assign is immutable")
+
+    def free_vars(self):
+        return self.expr.free_vars()
+
+    def assigned_vars(self):
+        return frozenset((self.name,))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Assign)
+            and self.name == other.name
+            and self.expr == other.expr
+        )
+
+    def __hash__(self):
+        return hash(("Assign", self.name, self.expr))
+
+    def __repr__(self):
+        return "Assign(%r, %r)" % (self.name, self.expr)
+
+
+class Seq(Command):
+    """``c1; c2``: sequential composition."""
+
+    __slots__ = ("first", "second")
+
+    def __init__(self, first: Command, second: Command):
+        _require_command(first)
+        _require_command(second)
+        object.__setattr__(self, "first", first)
+        object.__setattr__(self, "second", second)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Seq is immutable")
+
+    def free_vars(self):
+        return self.first.free_vars() | self.second.free_vars()
+
+    def assigned_vars(self):
+        return self.first.assigned_vars() | self.second.assigned_vars()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Seq)
+            and self.first == other.first
+            and self.second == other.second
+        )
+
+    def __hash__(self):
+        return hash(("Seq", self.first, self.second))
+
+    def __repr__(self):
+        return "Seq(%r, %r)" % (self.first, self.second)
+
+
+class Observe(Command):
+    """``observe e``: condition the posterior on predicate ``e``.
+
+    Operationally (after compilation) a failed observation restarts the
+    sampler from the initial state -- the rejection-sampling reading given
+    by ``tie_itree`` (Definition 3.12).
+    """
+
+    __slots__ = ("pred",)
+
+    def __init__(self, pred):
+        object.__setattr__(self, "pred", to_expr(pred))
+
+    def __setattr__(self, *_):
+        raise AttributeError("Observe is immutable")
+
+    def free_vars(self):
+        return self.pred.free_vars()
+
+    def assigned_vars(self):
+        return frozenset()
+
+    def __eq__(self, other):
+        return isinstance(other, Observe) and self.pred == other.pred
+
+    def __hash__(self):
+        return hash(("Observe", self.pred))
+
+    def __repr__(self):
+        return "Observe(%r)" % (self.pred,)
+
+
+class Ite(Command):
+    """``if e then c1 else c2``: deterministic branching."""
+
+    __slots__ = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then: Command, orelse: Command):
+        _require_command(then)
+        _require_command(orelse)
+        object.__setattr__(self, "cond", to_expr(cond))
+        object.__setattr__(self, "then", then)
+        object.__setattr__(self, "orelse", orelse)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Ite is immutable")
+
+    def free_vars(self):
+        return (
+            self.cond.free_vars()
+            | self.then.free_vars()
+            | self.orelse.free_vars()
+        )
+
+    def assigned_vars(self):
+        return self.then.assigned_vars() | self.orelse.assigned_vars()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Ite)
+            and self.cond == other.cond
+            and self.then == other.then
+            and self.orelse == other.orelse
+        )
+
+    def __hash__(self):
+        return hash(("Ite", self.cond, self.then, self.orelse))
+
+    def __repr__(self):
+        return "Ite(%r, %r, %r)" % (self.cond, self.then, self.orelse)
+
+
+class Choice(Command):
+    """``{c1} [p] {c2}``: execute ``c1`` with probability ``p(sigma)``.
+
+    The probability expression may depend on the program state (paper
+    extension (2) in Section 2); the cpGCL-choice rule requires its value
+    to lie in [0, 1] in every reachable state, checked dynamically at
+    compile/evaluation time.
+    """
+
+    __slots__ = ("prob", "left", "right")
+
+    def __init__(self, prob, left: Command, right: Command):
+        _require_command(left)
+        _require_command(right)
+        object.__setattr__(self, "prob", to_expr(prob))
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Choice is immutable")
+
+    def free_vars(self):
+        return (
+            self.prob.free_vars()
+            | self.left.free_vars()
+            | self.right.free_vars()
+        )
+
+    def assigned_vars(self):
+        return self.left.assigned_vars() | self.right.assigned_vars()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Choice)
+            and self.prob == other.prob
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self):
+        return hash(("Choice", self.prob, self.left, self.right))
+
+    def __repr__(self):
+        return "Choice(%r, %r, %r)" % (self.prob, self.left, self.right)
+
+
+class Uniform(Command):
+    """``uniform e x``: draw ``n`` uniformly from ``{0 .. e(sigma)-1}``
+    and assign it to ``x`` (binding form of cpGCL-uniform; see module
+    docstring).  Requires ``e(sigma) > 0``.
+    """
+
+    __slots__ = ("range_expr", "name")
+
+    def __init__(self, range_expr, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeError("uniform target must be a non-empty string")
+        object.__setattr__(self, "range_expr", to_expr(range_expr))
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Uniform is immutable")
+
+    def free_vars(self):
+        return self.range_expr.free_vars()
+
+    def assigned_vars(self):
+        return frozenset((self.name,))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Uniform)
+            and self.range_expr == other.range_expr
+            and self.name == other.name
+        )
+
+    def __hash__(self):
+        return hash(("Uniform", self.range_expr, self.name))
+
+    def __repr__(self):
+        return "Uniform(%r, %r)" % (self.range_expr, self.name)
+
+
+class While(Command):
+    """``while e do c end``: an (possibly unbounded) guarded loop."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body: Command):
+        _require_command(body)
+        object.__setattr__(self, "cond", to_expr(cond))
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, *_):
+        raise AttributeError("While is immutable")
+
+    def free_vars(self):
+        return self.cond.free_vars() | self.body.free_vars()
+
+    def assigned_vars(self):
+        return self.body.assigned_vars()
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, While)
+            and self.cond == other.cond
+            and self.body == other.body
+        )
+
+    def __hash__(self):
+        return hash(("While", self.cond, self.body))
+
+    def __repr__(self):
+        return "While(%r, %r)" % (self.cond, self.body)
+
+
+def seq(commands: Iterable[Command]) -> Command:
+    """Right-fold a sequence of commands with ``Seq`` (empty -> ``Skip``)."""
+    items: Tuple[Command, ...] = tuple(commands)
+    if not items:
+        return Skip()
+    result = items[-1]
+    _require_command(result)
+    for command in reversed(items[:-1]):
+        result = Seq(command, result)
+    return result
+
+
+def _require_command(c):
+    if not isinstance(c, Command):
+        raise TypeError("expected a cpGCL command, got %r" % (c,))

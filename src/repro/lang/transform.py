@@ -1,0 +1,326 @@
+"""Source-level optimization passes for cpGCL.
+
+The compiled pipeline optimizes at the CF-tree level (``elim_choices``);
+these passes optimize at the *source* level, where structure the tree
+has already monomorphized is still visible.  All passes preserve the
+cwp semantics exactly -- the property suite checks ``wp``/``wlp``
+equality on random programs.
+
+- :func:`fold_program` -- constant-fold expressions (reuses the parser's
+  folder).
+- :func:`simplify_control` -- prune ``if``/``while``/choice with literal
+  conditions: ``if true``, ``while false``, ``{c1}[1]{c2}``; drop
+  ``observe true``; collapse ``skip`` units in sequences.
+- :func:`unroll_loops` -- fully unroll loops whose iteration count is
+  statically bounded by constant-guard evaluation (turns bounded
+  programs loop-free, enabling the exact loop-free inference path).
+- :func:`dead_assignment_elimination` -- remove assignments to variables
+  never read afterwards (a backward liveness pass).
+- :func:`optimize` -- the standard composition.
+"""
+
+from typing import FrozenSet, Optional
+
+from repro.lang.errors import EvalError
+from repro.lang.expr import Expr, Lit
+from repro.lang.parser import fold_constants_expr
+from repro.lang.state import State
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+
+
+def fold_program(command: Command) -> Command:
+    """Constant-fold every expression in the program."""
+    from repro.lang.parser import fold_constants
+
+    return fold_constants(command)
+
+
+def _literal_bool(expr: Expr) -> Optional[bool]:
+    if isinstance(expr, Lit) and isinstance(expr.value, bool):
+        return expr.value
+    return None
+
+
+def simplify_control(command: Command) -> Command:
+    """Prune statically decided control flow (semantics-preserving)."""
+    if isinstance(command, (Skip, Assign, Uniform)):
+        return command
+    if isinstance(command, Observe):
+        if _literal_bool(command.pred) is True:
+            return Skip()
+        return command
+    if isinstance(command, Seq):
+        first = simplify_control(command.first)
+        second = simplify_control(command.second)
+        if isinstance(first, Skip):
+            return second
+        if isinstance(second, Skip):
+            return first
+        return Seq(first, second)
+    if isinstance(command, Ite):
+        decided = _literal_bool(command.cond)
+        if decided is True:
+            return simplify_control(command.then)
+        if decided is False:
+            return simplify_control(command.orelse)
+        return Ite(
+            command.cond,
+            simplify_control(command.then),
+            simplify_control(command.orelse),
+        )
+    if isinstance(command, Choice):
+        prob = command.prob
+        if isinstance(prob, Lit) and not isinstance(prob.value, bool):
+            if prob.value == 1:
+                return simplify_control(command.left)
+            if prob.value == 0:
+                return simplify_control(command.right)
+        left = simplify_control(command.left)
+        right = simplify_control(command.right)
+        if left == right:
+            # {c}[p]{c} = c for any p: the source-level analogue of the
+            # elim_choices duplicate-branch rule.
+            return left
+        return Choice(prob, left, right)
+    if isinstance(command, While):
+        if _literal_bool(command.cond) is False:
+            return Skip()
+        return While(command.cond, simplify_control(command.body))
+    raise TypeError("not a command: %r" % (command,))
+
+
+def unroll_loops(command: Command, max_unroll: int = 64) -> Command:
+    """Fully unroll loops with statically bounded iteration counts.
+
+    A loop qualifies when its guard depends only on variables whose
+    values are fully determined along every path (tracked with a small
+    constant-propagation environment) and it exits within
+    ``max_unroll`` iterations.  Qualifying programs become loop-free,
+    where inference is exact without any fixpoint machinery.
+
+    Only a conservative subset qualifies: bodies whose guard variables
+    are updated by constant-expressible assignments on all paths.
+    """
+
+    def go(c: Command, env: Optional[dict]) -> (Command, Optional[dict]):
+        # env maps variable -> known constant value; None = unknown env.
+        if isinstance(c, Skip):
+            return c, env
+        if isinstance(c, Assign):
+            if env is not None:
+                value = _try_eval(c.expr, env)
+                env = dict(env)
+                if value is not None:
+                    env[c.name] = value
+                else:
+                    env.pop(c.name, None)
+            return c, env
+        if isinstance(c, Uniform):
+            if env is not None:
+                env = dict(env)
+                env.pop(c.name, None)  # value is random: unknown
+            return c, env
+        if isinstance(c, Observe):
+            return c, env
+        if isinstance(c, Seq):
+            first, env = go(c.first, env)
+            second, env = go(c.second, env)
+            return Seq(first, second), env
+        if isinstance(c, Ite):
+            then, env_then = go(c.then, env)
+            orelse, env_else = go(c.orelse, env)
+            return Ite(c.cond, then, orelse), _meet(env_then, env_else)
+        if isinstance(c, Choice):
+            left, env_left = go(c.left, env)
+            right, env_right = go(c.right, env)
+            return Choice(c.prob, left, right), _meet(env_left, env_right)
+        if isinstance(c, While):
+            unrolled = _try_unroll(c, env, max_unroll)
+            if unrolled is not None:
+                return go(unrolled, env)
+            # Cannot unroll: variables the body assigns become unknown.
+            survivors = None
+            if env is not None:
+                survivors = {
+                    name: value
+                    for name, value in env.items()
+                    if name not in c.assigned_vars()
+                }
+            body, _ = go(c.body, None)
+            return While(c.cond, body), survivors
+        raise TypeError("not a command: %r" % (c,))
+
+    result, _ = go(command, {})
+    return result
+
+
+def _try_eval(expr: Expr, env: dict):
+    free = expr.free_vars()
+    if "*" in free or any(name not in env for name in free):
+        return None
+    try:
+        return expr.eval(State(env))
+    except (EvalError, TypeError):
+        return None
+
+
+def _meet(a: Optional[dict], b: Optional[dict]) -> Optional[dict]:
+    if a is None or b is None:
+        return None
+    return {k: v for k, v in a.items() if k in b and b[k] == v}
+
+
+def _try_unroll(loop: While, env: Optional[dict], max_unroll: int):
+    """Symbolically execute the loop on the constant environment."""
+    if env is None:
+        return None
+    current = dict(env)
+    pieces = []
+    for _ in range(max_unroll):
+        guard = _try_eval(loop.cond, current)
+        if guard is None or not isinstance(guard, bool):
+            return None
+        if guard is False:
+            result: Command = Skip()
+            for piece in reversed(pieces):
+                result = Seq(piece, result)
+            return result
+        advanced = _advance(loop.body, current)
+        if advanced is None:
+            return None
+        pieces.append(loop.body)
+        current = advanced
+    return None  # did not exit within the budget
+
+
+def _advance(body: Command, env: dict) -> Optional[dict]:
+    """Constant-propagate through one deterministic body execution.
+
+    Returns None when the body's effect on guard-relevant variables is
+    not statically determined (randomness, branching on unknowns).
+    """
+    if isinstance(body, Skip):
+        return env
+    if isinstance(body, Assign):
+        value = _try_eval(body.expr, env)
+        updated = dict(env)
+        if value is None:
+            updated.pop(body.name, None)
+        else:
+            updated[body.name] = value
+        return updated
+    if isinstance(body, Seq):
+        middle = _advance(body.first, env)
+        if middle is None:
+            return None
+        return _advance(body.second, middle)
+    if isinstance(body, Observe):
+        outcome = _try_eval(body.pred, env)
+        return env if outcome is True else None
+    if isinstance(body, Ite):
+        cond = _try_eval(body.cond, env)
+        if cond is True:
+            return _advance(body.then, env)
+        if cond is False:
+            return _advance(body.orelse, env)
+        return None
+    if isinstance(body, (Choice, Uniform, While)):
+        # Probabilistic or nested-loop effects: treat every assigned
+        # variable as unknown; unrolling remains possible only if the
+        # guard does not depend on them.
+        updated = dict(env)
+        for name in body.assigned_vars():
+            updated.pop(name, None)
+        return updated
+    raise TypeError("not a command: %r" % (body,))
+
+
+def dead_assignment_elimination(command: Command, outputs) -> Command:
+    """Remove assignments never read before the program ends.
+
+    ``outputs`` are the variables observable in terminal states (the
+    post-expectations the caller will ever ask about); the pass
+    preserves ``wp c f`` exactly for every ``f`` that depends only on
+    ``outputs``.  Removing writes to non-output variables *does* change
+    the terminal states themselves -- that is the point -- so this pass
+    is only applied with an explicit output set.
+
+    ``Uniform`` draws are *kept* even when dead: they consume
+    randomness, and removing them would change bit consumption (not the
+    posterior; the paper gives no bit-count guarantees, but we preserve
+    comparability).
+    """
+
+    def go(c: Command, live: FrozenSet[str]) -> (Command, FrozenSet[str]):
+        if isinstance(c, Skip):
+            return c, live
+        if isinstance(c, Assign):
+            if c.name not in live:
+                return Skip(), live
+            return c, (live - {c.name}) | c.expr.free_vars()
+        if isinstance(c, Uniform):
+            return c, (live - {c.name}) | c.range_expr.free_vars()
+        if isinstance(c, Observe):
+            return c, live | c.pred.free_vars()
+        if isinstance(c, Seq):
+            second, live = go(c.second, live)
+            first, live = go(c.first, live)
+            if isinstance(first, Skip):
+                return second, live
+            if isinstance(second, Skip):
+                return first, live
+            return Seq(first, second), live
+        if isinstance(c, Ite):
+            then, live_then = go(c.then, live)
+            orelse, live_else = go(c.orelse, live)
+            return (
+                Ite(c.cond, then, orelse),
+                live_then | live_else | c.cond.free_vars(),
+            )
+        if isinstance(c, Choice):
+            left, live_left = go(c.left, live)
+            right, live_right = go(c.right, live)
+            return (
+                Choice(c.prob, left, right),
+                live_left | live_right | c.prob.free_vars(),
+            )
+        if isinstance(c, While):
+            # Fixpoint of liveness through the loop: iterate to stability.
+            live_in = live | c.cond.free_vars()
+            while True:
+                _, live_body = go(c.body, live_in)
+                widened = live_in | live_body
+                if widened == live_in:
+                    break
+                live_in = widened
+            body, _ = go(c.body, live_in)
+            return While(c.cond, body), live_in
+        raise TypeError("not a command: %r" % (c,))
+
+    # "*" (opaque free-variable marker) keeps everything alive.
+    result, live = go(command, frozenset(outputs))
+    if "*" in live:
+        return command
+    return result
+
+
+def optimize(command: Command, outputs=None, max_unroll: int = 64) -> Command:
+    """The standard pass pipeline: fold, simplify, unroll, simplify,
+    then dead-assignment elimination when ``outputs`` is given."""
+    command = fold_program(command)
+    command = simplify_control(command)
+    command = unroll_loops(command, max_unroll)
+    command = simplify_control(command)
+    if outputs is not None:
+        command = dead_assignment_elimination(command, outputs)
+    return simplify_control(command)

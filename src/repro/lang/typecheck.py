@@ -1,0 +1,145 @@
+"""Static well-formedness checks for cpGCL programs.
+
+Definition 2.1 imposes side conditions that a Coq development discharges
+with proofs: choice probabilities lie in [0, 1] and uniform ranges are
+positive.  For literal expressions we check these statically; for
+state-dependent expressions the checks are performed dynamically by the
+compiler (:mod:`repro.cftree.compile`) and this checker records that a
+dynamic check will be needed.
+
+The checker also performs a definite-assignment analysis.  Reading an
+unassigned variable is *legal* (it reads as 0, following the paper's
+convention for e.g. ``h`` in Figure 1a) but often unintended, so such reads
+are reported as warnings.
+"""
+
+from fractions import Fraction
+from typing import FrozenSet, List, NamedTuple
+
+from repro.lang.errors import TypeCheckError
+from repro.lang.expr import Lit
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+
+
+class CheckReport(NamedTuple):
+    """Outcome of static checking.
+
+    ``errors`` are definite violations (bad literal probability/range);
+    ``warnings`` are possible issues (unassigned reads, dynamic checks).
+    """
+
+    errors: List[str]
+    warnings: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def check_program(command: Command, strict: bool = True) -> CheckReport:
+    """Check ``command``; with ``strict=True`` raise on errors."""
+    checker = _Checker()
+    checker.run(command, frozenset())
+    report = CheckReport(checker.errors, checker.warnings)
+    if strict and report.errors:
+        raise TypeCheckError("; ".join(report.errors))
+    return report
+
+
+class _Checker:
+    def __init__(self):
+        self.errors: List[str] = []
+        self.warnings: List[str] = []
+
+    def run(self, command: Command, assigned: FrozenSet[str]) -> FrozenSet[str]:
+        """Walk ``command``; return the definitely-assigned set after it."""
+        if isinstance(command, Skip):
+            return assigned
+        if isinstance(command, Assign):
+            self._check_reads(command.expr.free_vars(), assigned, command)
+            return assigned | {command.name}
+        if isinstance(command, Seq):
+            assigned = self.run(command.first, assigned)
+            return self.run(command.second, assigned)
+        if isinstance(command, Observe):
+            self._check_reads(command.pred.free_vars(), assigned, command)
+            return assigned
+        if isinstance(command, Ite):
+            self._check_reads(command.cond.free_vars(), assigned, command)
+            after_then = self.run(command.then, assigned)
+            after_else = self.run(command.orelse, assigned)
+            return after_then & after_else
+        if isinstance(command, Choice):
+            self._check_reads(command.prob.free_vars(), assigned, command)
+            self._check_probability(command.prob)
+            after_left = self.run(command.left, assigned)
+            after_right = self.run(command.right, assigned)
+            return after_left & after_right
+        if isinstance(command, Uniform):
+            self._check_reads(command.range_expr.free_vars(), assigned, command)
+            self._check_range(command.range_expr)
+            return assigned | {command.name}
+        if isinstance(command, While):
+            self._check_reads(command.cond.free_vars(), assigned, command)
+            # The body may execute zero times: nothing it assigns is
+            # definite afterwards, but its own reads are checked against
+            # what is definitely assigned at loop entry.
+            self.run(command.body, assigned)
+            return assigned
+        raise TypeError("not a command: %r" % (command,))
+
+    def _check_reads(self, names, assigned, command):
+        for name in sorted(names):
+            if name == "*":
+                continue  # opaque expression: free variables unknown
+            if name not in assigned:
+                self.warnings.append(
+                    "variable %r may be read before assignment in %r "
+                    "(unassigned variables read as 0)" % (name, command)
+                )
+
+    def _check_probability(self, prob):
+        if isinstance(prob, Lit):
+            value = prob.value
+            if isinstance(value, bool) or not isinstance(
+                value, (int, Fraction)
+            ):
+                self.errors.append(
+                    "choice probability must be numeric, got %r" % (value,)
+                )
+            elif not 0 <= value <= 1:
+                self.errors.append(
+                    "choice probability %s is outside [0, 1]" % (value,)
+                )
+        else:
+            self.warnings.append(
+                "state-dependent choice probability %r checked dynamically"
+                % (prob,)
+            )
+
+    def _check_range(self, bound):
+        if isinstance(bound, Lit):
+            value = bound.value
+            if isinstance(value, bool) or not isinstance(value, int):
+                self.errors.append(
+                    "uniform range must be an integer, got %r" % (value,)
+                )
+            elif value <= 0:
+                self.errors.append(
+                    "uniform range must be positive, got %s" % (value,)
+                )
+        else:
+            self.warnings.append(
+                "state-dependent uniform range %r checked dynamically"
+                % (bound,)
+            )

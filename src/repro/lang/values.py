@@ -1,0 +1,105 @@
+"""Program values.
+
+cpGCL is a discrete language: program variables range over booleans,
+(unbounded) integers, and exact rationals.  The paper requires that all
+probabilities appearing in programs be rational (Section 1.3); we therefore
+use :class:`fractions.Fraction` rather than floats everywhere, so that the
+weakest pre-expectation semantics and the choice-fix tree semantics can be
+computed *exactly* and the compiler-correctness theorems can be checked with
+zero tolerance.
+
+``bool`` is a subclass of ``int`` in Python, so all dispatch on value kinds
+tests booleans first.
+"""
+
+from fractions import Fraction
+from typing import Union
+
+Value = Union[bool, int, Fraction]
+
+#: The kinds a value can have, used by error messages and the type checker.
+KIND_BOOL = "bool"
+KIND_INT = "int"
+KIND_RAT = "rational"
+
+
+def is_value(x) -> bool:
+    """Return True if ``x`` is a legal cpGCL program value."""
+    return isinstance(x, (bool, int, Fraction))
+
+
+def kind_of(x) -> str:
+    """Return the kind name of value ``x`` (bool is checked before int)."""
+    if isinstance(x, bool):
+        return KIND_BOOL
+    if isinstance(x, int):
+        return KIND_INT
+    if isinstance(x, Fraction):
+        return KIND_RAT
+    raise TypeError("not a cpGCL value: %r" % (x,))
+
+
+def normalize(x: Value) -> Value:
+    """Canonicalize a value: integral Fractions become ints.
+
+    Exact equality of states (needed by the finite-state loop solver and by
+    structural equality of choice-fix trees) requires a canonical
+    representation, so ``Fraction(4, 2)`` and ``2`` must not be distinct.
+    """
+    if isinstance(x, bool):
+        return x
+    if isinstance(x, Fraction):
+        if x.denominator == 1:
+            return int(x)
+        return x
+    if isinstance(x, int):
+        return x
+    raise TypeError("not a cpGCL value: %r" % (x,))
+
+
+def value_eq(a: Value, b: Value) -> bool:
+    """Semantic equality of values.
+
+    Booleans compare equal only to booleans (``True != 1`` as cpGCL values),
+    while ints and rationals compare numerically.
+    """
+    a_bool = isinstance(a, bool)
+    b_bool = isinstance(b, bool)
+    if a_bool or b_bool:
+        return a_bool and b_bool and a == b
+    return a == b
+
+
+def as_fraction(x: Value) -> Fraction:
+    """Coerce a numeric value to an exact Fraction.
+
+    Booleans are rejected: cpGCL has no implicit bool-to-number coercion
+    (the Iverson bracket is explicit in the semantics layer instead).
+    """
+    if isinstance(x, bool):
+        raise TypeError("cannot use boolean %r as a number" % (x,))
+    if isinstance(x, (int, Fraction)):
+        return Fraction(x)
+    raise TypeError("not a numeric cpGCL value: %r" % (x,))
+
+
+def as_int(x: Value) -> int:
+    """Coerce a value to an integer, rejecting non-integral rationals."""
+    if isinstance(x, bool):
+        raise TypeError("cannot use boolean %r as an integer" % (x,))
+    if isinstance(x, int):
+        return x
+    if isinstance(x, Fraction) and x.denominator == 1:
+        return int(x)
+    raise TypeError("not an integral cpGCL value: %r" % (x,))
+
+
+def as_bool(x: Value) -> bool:
+    """Coerce a value to a boolean; only booleans are accepted.
+
+    Guard conditions and observed predicates have type ``Sigma -> B`` in
+    Definition 2.1, so numbers in boolean position are a type error.
+    """
+    if isinstance(x, bool):
+        return x
+    raise TypeError("not a boolean cpGCL value: %r" % (x,))

@@ -1,0 +1,80 @@
+"""Trace MCMC for cpGCL posteriors (extension).
+
+The paper's Section 1.3 plans to "compile to MCMC-based sampling
+processes" to address the entropy cost of rejection sampling under
+low-probability conditioning; this subpackage implements that
+future-work direction as single-site Metropolis-Hastings over execution
+traces:
+
+- :mod:`repro.mcmc.trace` -- recorded probabilistic choices with exact
+  rational densities;
+- :mod:`repro.mcmc.replay` -- positional-reuse re-execution;
+- :mod:`repro.mcmc.kernel` -- the MH transition with an exact-arithmetic
+  acceptance test;
+- :mod:`repro.mcmc.sampler` -- :class:`MHSampler`, metered like the
+  verified pipeline for bits-per-sample comparison;
+- :mod:`repro.mcmc.diagnostics` -- ESS / R-hat, because MCMC output is
+  correlated and certificate-free (the honest half of the comparison).
+
+Typical use::
+
+    from repro.mcmc import MHSampler
+
+    chain = MHSampler(program, seed=0).run(10_000, burn_in=500)
+    print(chain.acceptance_rate(), chain.bits_per_sample())
+"""
+
+from repro.mcmc.diagnostics import (
+    autocorrelation,
+    effective_sample_size,
+    gelman_rubin,
+)
+from repro.mcmc.kernel import (
+    ACCEPTED,
+    NO_SITES,
+    REJECTED_BUDGET,
+    REJECTED_IMPOSSIBLE,
+    REJECTED_OBSERVATION,
+    REJECTED_RATIO,
+    StepResult,
+    bernoulli_exact,
+    initialize,
+    mh_step,
+)
+from repro.mcmc.replay import ReplayBudgetExhausted, ReplayResult, replay
+from repro.mcmc.sampler import ChainRecord, MHSampler, rhat, run_chains
+from repro.mcmc.trace import (
+    Trace,
+    TraceEntry,
+    choice_entry,
+    reuse_entry,
+    uniform_entry,
+)
+
+__all__ = [
+    "ACCEPTED",
+    "ChainRecord",
+    "MHSampler",
+    "NO_SITES",
+    "REJECTED_BUDGET",
+    "REJECTED_IMPOSSIBLE",
+    "REJECTED_OBSERVATION",
+    "REJECTED_RATIO",
+    "ReplayBudgetExhausted",
+    "ReplayResult",
+    "StepResult",
+    "Trace",
+    "TraceEntry",
+    "autocorrelation",
+    "bernoulli_exact",
+    "choice_entry",
+    "effective_sample_size",
+    "gelman_rubin",
+    "initialize",
+    "mh_step",
+    "replay",
+    "reuse_entry",
+    "rhat",
+    "run_chains",
+    "uniform_entry",
+]

@@ -1,0 +1,163 @@
+"""Single-site Metropolis-Hastings kernel over cpGCL traces.
+
+One step perturbs the current trace at a uniformly chosen site: the site
+is resampled from its prior, the program is replayed with positional
+reuse (:mod:`repro.mcmc.replay`), and the proposal is accepted with the
+Metropolis-Hastings ratio
+
+    alpha = min(1,  pi(t') * |t| * q_stale
+                   ---------------------------
+                    pi(t) * |t'| * q_fresh )
+
+where ``pi`` is the trace density, ``|t|``/``|t'|`` account for the
+uniform site choice, ``q_fresh`` prices the values freshly drawn going
+``t -> t'``, and ``q_stale`` prices the values of ``t`` that the reverse
+move ``t' -> t`` would have to draw fresh (the classic lightweight-PPL
+ratio of Wingate et al. 2011, specialized to cpGCL's two site kinds).
+Proposals that violate an ``observe`` carry zero likelihood (cpGCL
+conditions are hard constraints) and are rejected outright.
+
+All densities are exact ``Fraction``s and the accept/reject draw
+compares fair bits against the binary expansion of ``alpha`` --
+arithmetic-coding style, expected two bits, no floating-point decision
+anywhere in the kernel.
+"""
+
+from fractions import Fraction
+from typing import Optional, Tuple
+
+from repro.bits.source import BitSource
+from repro.lang.interp import draw_uniform
+from repro.lang.state import State
+from repro.lang.syntax import Command
+from repro.mcmc.replay import ReplayBudgetExhausted, replay
+from repro.mcmc.trace import Trace
+
+#: Outcome tags attached to each step (for diagnostics).
+ACCEPTED = "accepted"
+REJECTED_RATIO = "rejected_ratio"
+REJECTED_OBSERVATION = "rejected_observation"
+REJECTED_IMPOSSIBLE = "rejected_impossible"
+REJECTED_BUDGET = "rejected_budget"
+NO_SITES = "no_sites"
+
+
+def bernoulli_exact(alpha: Fraction, source: BitSource) -> bool:
+    """Draw Bernoulli(alpha) for an arbitrary rational ``alpha`` by lazy
+    comparison of a uniform dyadic stream against ``alpha``'s binary
+    expansion.  Uses two fair bits in expectation regardless of the size
+    of ``alpha``'s denominator (the MH ratio's denominator grows with
+    trace length, so the eager ``bernoulli_tree`` construction is not an
+    option here)."""
+    alpha = Fraction(alpha)
+    if alpha <= 0:
+        return False
+    if alpha >= 1:
+        return True
+    while True:
+        alpha *= 2
+        digit = alpha >= 1
+        if digit:
+            alpha -= 1
+        bit = source.next_bit()
+        if bit != digit:
+            # First disagreement decides: u < alpha iff u's bit is 0
+            # where alpha's expansion has 1.
+            return digit and not bit
+        if alpha == 0:
+            # alpha's expansion ended with an exact match: u == alpha,
+            # and P(u < alpha | prefix equal) is 0.
+            return False
+
+
+class StepResult:
+    """Chain state after one kernel application."""
+
+    __slots__ = ("trace", "state", "outcome", "alpha")
+
+    def __init__(
+        self,
+        trace: Trace,
+        state: State,
+        outcome: str,
+        alpha: Optional[Fraction],
+    ):
+        self.trace = trace
+        self.state = state
+        self.outcome = outcome
+        self.alpha = alpha
+
+    def __repr__(self):
+        return "StepResult(%s, alpha=%s)" % (self.outcome, self.alpha)
+
+
+def mh_step(
+    program: Command,
+    sigma: State,
+    trace: Trace,
+    state: State,
+    source: BitSource,
+    max_steps: int = 1_000_000,
+) -> StepResult:
+    """One single-site MH transition from ``(trace, state)``.
+
+    ``sigma`` is the program's initial state (the chain's invariant
+    distribution is the posterior of ``program`` from ``sigma``).
+    Returns the new chain state; on any rejection the old one is kept.
+    """
+    n_sites = len(trace)
+    if n_sites == 0:
+        return StepResult(trace, state, NO_SITES, None)
+    site = draw_uniform(n_sites, source)
+    try:
+        proposal = replay(
+            program,
+            sigma,
+            old_trace=trace,
+            proposal_site=site,
+            source=source,
+            max_steps=max_steps,
+        )
+    except ReplayBudgetExhausted:
+        return StepResult(trace, state, REJECTED_BUDGET, None)
+    if proposal.impossible:
+        # A reused value has probability 0 under the proposal's changed
+        # parameters: zero proposal density, the move cannot be reversed.
+        return StepResult(trace, state, REJECTED_IMPOSSIBLE, Fraction(0))
+    if not proposal.observed:
+        return StepResult(trace, state, REJECTED_OBSERVATION, Fraction(0))
+
+    q_stale = Fraction(1)
+    for index, entry in enumerate(trace):
+        if index not in proposal.reused:
+            q_stale *= entry.prob
+
+    new_trace = proposal.trace
+    alpha = (
+        new_trace.density()
+        * n_sites
+        * q_stale
+        / (trace.density() * len(new_trace) * proposal.q_fresh)
+    )
+    if bernoulli_exact(alpha, source):
+        return StepResult(new_trace, proposal.state, ACCEPTED, alpha)
+    return StepResult(trace, state, REJECTED_RATIO, alpha)
+
+
+def initialize(
+    program: Command,
+    sigma: State,
+    source: BitSource,
+    max_steps: int = 1_000_000,
+    max_restarts: int = 100_000,
+) -> Tuple[Trace, State]:
+    """Forward-sample until every observation passes (rejection init --
+    the only stage of the MH sampler that pays rejection entropy)."""
+    for _attempt in range(max_restarts):
+        result = replay(program, sigma, source=source, max_steps=max_steps)
+        if result.observed:
+            return result.trace, result.state
+    raise RuntimeError(
+        "no observation-satisfying trace found in %d forward attempts; "
+        "the conditioning event may have probability 0" % max_restarts
+    )

@@ -1,0 +1,226 @@
+"""Trace-replay execution of cpGCL programs.
+
+:func:`replay` runs a program while resolving probabilistic sites
+against an old trace: recorded values are reused positionally where
+legal, the designated proposal site (and any site where reuse is
+impossible) is drawn fresh from its prior, and every resolved entry is
+re-recorded with its probability under the *current* parameters.  The
+result carries exactly the quantities the Metropolis-Hastings acceptance
+ratio needs:
+
+- the new trace and its terminal state,
+- whether every ``observe`` passed (the hard-constraint likelihood),
+- the forward proposal density ``q_fresh`` (product of prior
+  probabilities of freshly drawn values), and
+- which old-trace positions were reused (the complement prices the
+  reverse proposal).
+
+Positional reuse has the *prefix property*: sites strictly before the
+proposal site replay the same values, hence pass through the same
+states, hence are reached in the same order -- so the proposal site is
+always reached again and the chain is well-defined.
+"""
+
+from fractions import Fraction
+from typing import FrozenSet, List, Optional, Set
+
+from repro.bits.source import BitSource
+from repro.lang.errors import ProbabilityRangeError, UniformRangeError
+from repro.lang.interp import draw_bernoulli, draw_uniform
+from repro.lang.state import State
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.lang.values import as_bool, as_fraction, as_int
+from repro.mcmc.trace import Trace, choice_entry, reuse_entry, uniform_entry
+
+
+class ReplayBudgetExhausted(Exception):
+    """The step budget ran out mid-replay (possible divergence)."""
+
+
+class ReplayResult:
+    """Outcome of one trace-replay execution.
+
+    ``observed=False`` marks a violated observation; ``impossible=True``
+    marks a reused value with probability 0 under the new parameters
+    (zero proposal density).  Either way the proposal is rejected and
+    ``state`` is ``None``.
+    """
+
+    __slots__ = ("trace", "state", "observed", "impossible", "q_fresh", "reused")
+
+    def __init__(
+        self,
+        trace: Trace,
+        state: Optional[State],
+        observed: bool,
+        impossible: bool,
+        q_fresh: Fraction,
+        reused: FrozenSet[int],
+    ):
+        self.trace = trace
+        self.state = state
+        self.observed = observed
+        self.impossible = impossible
+        self.q_fresh = q_fresh
+        self.reused = reused
+
+    def __repr__(self):
+        return "ReplayResult(sites=%d, observed=%s, impossible=%s, q_fresh=%s)" % (
+            len(self.trace),
+            self.observed,
+            self.impossible,
+            self.q_fresh,
+        )
+
+
+class _Replayer:
+    """Mutable site-resolution context threaded through one execution."""
+
+    def __init__(
+        self,
+        old_trace: Trace,
+        proposal_site: Optional[int],
+        source: BitSource,
+        max_steps: int,
+    ):
+        self.old_trace = old_trace
+        self.proposal_site = proposal_site
+        self.source = source
+        self.recorded: List = []
+        self.q_fresh = Fraction(1)
+        self.reused: Set[int] = set()
+        self.steps_left = max_steps
+
+    def tick(self):
+        self.steps_left -= 1
+        if self.steps_left < 0:
+            raise ReplayBudgetExhausted()
+
+    def resolve_choice(self, p: Fraction) -> bool:
+        index = len(self.recorded)
+        value = None
+        if index != self.proposal_site:
+            value = self.old_trace.reuse_value(index, "choice")
+        if value is None:
+            value = draw_bernoulli(p, self.source)
+            entry = choice_entry(p, value)
+            self.q_fresh *= entry.prob
+        else:
+            # Reused under possibly changed bias; a now-impossible value
+            # zeroes the proposal density and the move is rejected.
+            entry = reuse_entry("choice", p, value)
+            self.reused.add(index)
+        self.recorded.append(entry)
+        if entry.prob == 0:
+            raise _ZeroDensity()
+        return value
+
+    def resolve_uniform(self, n: int) -> int:
+        index = len(self.recorded)
+        value = None
+        if index != self.proposal_site:
+            value = self.old_trace.reuse_value(index, "uniform")
+        if value is None:
+            value = draw_uniform(n, self.source)
+            entry = uniform_entry(n, value)
+            self.q_fresh *= entry.prob
+        else:
+            entry = reuse_entry("uniform", n, value)
+            self.reused.add(index)
+        self.recorded.append(entry)
+        if entry.prob == 0:
+            raise _ZeroDensity()
+        return value
+
+
+class _ObservationViolated(Exception):
+    """Internal: an observe predicate failed during replay."""
+
+
+class _ZeroDensity(Exception):
+    """Internal: a reused value is impossible under the new parameters."""
+
+
+def replay(
+    command: Command,
+    sigma: State,
+    old_trace: Trace = Trace(),
+    proposal_site: Optional[int] = None,
+    source: Optional[BitSource] = None,
+    max_steps: int = 1_000_000,
+) -> ReplayResult:
+    """Execute ``command`` from ``sigma`` against ``old_trace``.
+
+    With an empty ``old_trace`` this is forward sampling that records a
+    trace.  ``proposal_site`` forces a fresh draw at that position (the
+    single-site MH proposal).  Observation failure stops execution
+    immediately and is reported via ``observed=False`` (``state`` is then
+    ``None``): the proposal carries zero likelihood and MH rejects it.
+    """
+    if source is None:
+        from repro.bits.source import SystemBits
+
+        source = SystemBits()
+    context = _Replayer(old_trace, proposal_site, source, max_steps)
+    observed, impossible = True, False
+    try:
+        final = _run(command, sigma, context)
+    except _ObservationViolated:
+        final = None
+        observed = False
+    except _ZeroDensity:
+        final = None
+        impossible = True
+    return ReplayResult(
+        Trace(tuple(context.recorded)),
+        final,
+        observed,
+        impossible,
+        context.q_fresh,
+        frozenset(context.reused),
+    )
+
+
+def _run(command: Command, sigma: State, ctx: _Replayer) -> State:
+    ctx.tick()
+    if isinstance(command, Skip):
+        return sigma
+    if isinstance(command, Assign):
+        return sigma.set(command.name, command.expr.eval(sigma))
+    if isinstance(command, Seq):
+        return _run(command.second, _run(command.first, sigma, ctx), ctx)
+    if isinstance(command, Observe):
+        if as_bool(command.pred.eval(sigma)):
+            return sigma
+        raise _ObservationViolated()
+    if isinstance(command, Ite):
+        taken = command.then if as_bool(command.cond.eval(sigma)) else command.orelse
+        return _run(taken, sigma, ctx)
+    if isinstance(command, Choice):
+        p = as_fraction(command.prob.eval(sigma))
+        if not 0 <= p <= 1:
+            raise ProbabilityRangeError(p, sigma)
+        branch = command.left if ctx.resolve_choice(p) else command.right
+        return _run(branch, sigma, ctx)
+    if isinstance(command, Uniform):
+        n = as_int(command.range_expr.eval(sigma))
+        if n <= 0:
+            raise UniformRangeError(n, sigma)
+        return sigma.set(command.name, ctx.resolve_uniform(n))
+    if isinstance(command, While):
+        current = sigma
+        while as_bool(command.cond.eval(current)):
+            ctx.tick()
+            current = _run(command.body, current, ctx)
+        return current
+    raise TypeError("not a command: %r" % (command,))

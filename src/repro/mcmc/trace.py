@@ -1,0 +1,165 @@
+"""Probabilistic traces of cpGCL executions.
+
+A *trace* records, in execution order, the outcome of every
+probabilistic site a program hit: each ``Choice`` contributes a Boolean
+draw and each ``uniform`` a natural-number draw.  Replaying a trace
+against the same program from the same initial state reproduces the
+terminal state deterministically (cpGCL has no other source of
+randomness), which is the property single-site Metropolis-Hastings
+relies on: perturb one site, replay the rest.
+
+The paper plans to "compile to MCMC-based sampling processes" to address
+the entropy waste of rejection sampling under low-probability
+conditioning (Section 1.3 / Table 2); :mod:`repro.mcmc` implements that
+future-work direction directly on the cpGCL source semantics, with the
+exact ``Fraction`` probability bookkeeping needed for a provably correct
+acceptance ratio.
+"""
+
+from fractions import Fraction
+from typing import Optional, Tuple
+
+
+class TraceEntry:
+    """One probabilistic draw: site kind, distribution parameter, and
+    the drawn value together with its prior probability.
+
+    ``kind`` is ``"choice"`` (parameter: bias ``p``; value: bool) or
+    ``"uniform"`` (parameter: range ``n``; value: int in ``0..n-1``).
+    ``prob`` is the exact prior probability of ``value`` under the
+    parameter -- the factor this entry contributes to the trace density.
+    """
+
+    __slots__ = ("kind", "param", "value", "prob")
+
+    def __init__(self, kind: str, param, value, prob: Fraction):
+        if kind not in ("choice", "uniform"):
+            raise ValueError("unknown site kind %r" % (kind,))
+        prob = Fraction(prob)
+        if not 0 <= prob <= 1:
+            raise ValueError("entry probability %s outside [0, 1]" % (prob,))
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "param", param)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "prob", prob)
+
+    def __setattr__(self, *_):
+        raise AttributeError("TraceEntry is immutable")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TraceEntry)
+            and self.kind == other.kind
+            and self.param == other.param
+            and self.value == other.value
+            and self.prob == other.prob
+        )
+
+    def __hash__(self):
+        return hash((self.kind, self.param, self.value, self.prob))
+
+    def __repr__(self):
+        return "TraceEntry(%r, %r, %r, %s)" % (
+            self.kind,
+            self.param,
+            self.value,
+            self.prob,
+        )
+
+
+def choice_entry(p: Fraction, value: bool) -> TraceEntry:
+    """A Bernoulli draw: ``value`` with prior probability ``p`` (heads)
+    or ``1 - p`` (tails)."""
+    p = Fraction(p)
+    return TraceEntry("choice", p, bool(value), p if value else 1 - p)
+
+
+def uniform_entry(n: int, value: int) -> TraceEntry:
+    """A uniform draw of ``value`` from ``{0 .. n-1}``."""
+    if not 0 <= value < n:
+        raise ValueError("uniform value %d outside range %d" % (value, n))
+    return TraceEntry("uniform", n, value, Fraction(1, n))
+
+
+def reuse_entry(kind: str, param, value) -> TraceEntry:
+    """Entry for a positionally *reused* value under possibly changed
+    parameters.
+
+    Unlike the fresh-draw constructors this never raises: a value made
+    impossible by the new parameters (a uniform outside its shrunken
+    range, a choice outcome under a degenerate bias) gets probability
+    **0**, which zeroes the proposal trace's density so the MH kernel
+    rejects the move.  Rejecting -- rather than redrawing the value --
+    keeps the single-site proposal symmetric: the reverse move reuses
+    the same positions, so forward and reverse fresh-draw sets mirror
+    each other and the acceptance ratio of Wingate et al. applies.
+    """
+    if kind == "choice":
+        p = Fraction(param)
+        return TraceEntry("choice", p, bool(value), p if value else 1 - p)
+    if kind == "uniform":
+        if 0 <= value < param:
+            return TraceEntry("uniform", param, value, Fraction(1, param))
+        return TraceEntry("uniform", param, value, Fraction(0))
+    raise ValueError("unknown site kind %r" % (kind,))
+
+
+class Trace:
+    """An immutable sequence of :class:`TraceEntry` values."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self, entries: Tuple[TraceEntry, ...] = ()):
+        entries = tuple(entries)
+        for entry in entries:
+            if not isinstance(entry, TraceEntry):
+                raise TypeError("not a trace entry: %r" % (entry,))
+        object.__setattr__(self, "entries", entries)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Trace is immutable")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self.entries[index]
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __eq__(self, other):
+        return isinstance(other, Trace) and self.entries == other.entries
+
+    def __hash__(self):
+        return hash(self.entries)
+
+    def density(self) -> Fraction:
+        """Prior probability of this exact trace: the product of its
+        entries' probabilities (``pi(t)`` in the MH acceptance ratio)."""
+        result = Fraction(1)
+        for entry in self.entries:
+            result *= entry.prob
+        return result
+
+    def reuse_value(self, index: int, kind: str) -> Optional[object]:
+        """Value to reuse at site ``index`` when re-executing, or ``None``
+        when a fresh draw is needed (past the end, or site kind changed).
+
+        Reuse is purely positional and kind-based; legality of the value
+        under the *new* parameters is priced by :func:`reuse_entry`
+        (probability 0 rejects the move) rather than decided here, which
+        keeps forward and reverse proposals symmetric.
+        """
+        if index >= len(self.entries):
+            return None
+        entry = self.entries[index]
+        if entry.kind != kind:
+            return None
+        return entry.value
+
+    def __repr__(self):
+        return "Trace(%d entries, density=%s)" % (
+            len(self.entries),
+            self.density(),
+        )

@@ -1,0 +1,16 @@
+"""SGD training demo substrate (Section 5.3's TensorFlow/MNIST demo).
+
+The paper demonstrates Zar as a high-assurance replacement for the
+unverified uniform sampler inside SGD minibatch selection, observing no
+effect on training.  TensorFlow and MNIST are unavailable offline, so
+this substrate provides the closest synthetic equivalent (documented in
+DESIGN.md): a pure-numpy MLP trained on a synthetic MNIST-like dataset,
+with the batch-index sampler pluggable between the verified
+``ZarUniform`` and the stdlib PRNG.
+"""
+
+from repro.ml.data import synthetic_mnist
+from repro.ml.mlp import MLP
+from repro.ml.sgd import TrainResult, train
+
+__all__ = ["MLP", "TrainResult", "synthetic_mnist", "train"]

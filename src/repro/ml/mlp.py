@@ -1,0 +1,60 @@
+"""A minimal multilayer perceptron with softmax cross-entropy.
+
+One hidden ReLU layer, plain SGD updates; everything in numpy.  Kept
+deliberately small -- the Section 5.3 demo measures the *sampler's*
+effect on training, not model quality.
+"""
+
+from typing import List
+
+import numpy as np
+
+
+class MLP:
+    """``input -> ReLU(hidden) -> softmax(classes)``."""
+
+    def __init__(self, n_in: int, n_hidden: int, n_out: int, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / n_in)
+        scale2 = np.sqrt(2.0 / n_hidden)
+        self.w1 = rng.normal(0.0, scale1, size=(n_in, n_hidden))
+        self.b1 = np.zeros(n_hidden)
+        self.w2 = rng.normal(0.0, scale2, size=(n_hidden, n_out))
+        self.b2 = np.zeros(n_out)
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        hidden = np.maximum(x @ self.w1 + self.b1, 0.0)
+        return hidden @ self.w2 + self.b2
+
+    def loss_and_gradients(self, x: np.ndarray, y: np.ndarray):
+        """Mean cross-entropy and parameter gradients for a batch."""
+        batch = x.shape[0]
+        hidden_pre = x @ self.w1 + self.b1
+        hidden = np.maximum(hidden_pre, 0.0)
+        logits = hidden @ self.w2 + self.b2
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        loss = -np.log(probs[np.arange(batch), y] + 1e-12).mean()
+
+        dlogits = probs
+        dlogits[np.arange(batch), y] -= 1.0
+        dlogits /= batch
+        dw2 = hidden.T @ dlogits
+        db2 = dlogits.sum(axis=0)
+        dhidden = dlogits @ self.w2.T
+        dhidden[hidden_pre <= 0.0] = 0.0
+        dw1 = x.T @ dhidden
+        db1 = dhidden.sum(axis=0)
+        return loss, (dw1, db1, dw2, db2)
+
+    def apply_gradients(self, grads, learning_rate: float) -> None:
+        dw1, db1, dw2, db2 = grads
+        self.w1 -= learning_rate * dw1
+        self.b1 -= learning_rate * db1
+        self.w2 -= learning_rate * dw2
+        self.b2 -= learning_rate * db2
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        predictions = self.logits(x).argmax(axis=1)
+        return float((predictions == y).mean())

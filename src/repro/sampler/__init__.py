@@ -1,0 +1,35 @@
+"""Sampler execution and measurement (Figure 7, Section 5).
+
+- :mod:`repro.sampler.run` -- the trampolined driver loop that feeds
+  random bits to an ITree sampler (the OCaml shim of Figure 7);
+- :mod:`repro.sampler.record` -- sample collection with per-sample bit
+  accounting (the mu_bit/sigma_bit columns);
+- :mod:`repro.sampler.preimage` -- preimage Sigma^0_1 sets of events
+  under a sampler (Section 4.2, Figure 6c);
+- :mod:`repro.sampler.harness` -- the table-row runner used by the
+  benchmark suite to regenerate the paper's tables.
+"""
+
+from repro.sampler.run import FuelExhausted, run_itree, run_with_bits
+from repro.sampler.record import SampleSet, collect
+from repro.sampler.preimage import PreimageResult, preimage
+from repro.sampler.harness import (
+    Row,
+    format_table,
+    program_sampler,
+    run_row,
+)
+
+__all__ = [
+    "FuelExhausted",
+    "PreimageResult",
+    "Row",
+    "SampleSet",
+    "collect",
+    "format_table",
+    "preimage",
+    "program_sampler",
+    "run_itree",
+    "run_row",
+    "run_with_bits",
+]

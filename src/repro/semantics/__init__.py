@@ -1,0 +1,54 @@
+"""Conditional weakest pre-expectation semantics (Section 2.2).
+
+Implements the expectation transformers ``wp_b``/``wlp_b`` of
+Definitions 2.2/2.3 and ``cwp`` of Definition 2.4 over exact extended
+nonnegative rationals, with two loop strategies:
+
+- **exact**: when a loop's reachable state space is finite, its least (wp)
+  or greatest (wlp) fixpoint is the solution of a linear system over Q,
+  solved exactly by Gaussian elimination (``repro.semantics.linsolve``);
+- **iterate**: Kleene iteration of the loop functional with convergence
+  detection -- every iterate is a sound monotone bound (lower for wp,
+  upper for wlp).
+
+The same engine is reused by the choice-fix tree semantics
+(:mod:`repro.cftree.semantics`), which is what makes the compiler
+correctness checks (Theorem 3.7) exact.
+"""
+
+from repro.semantics.extreal import ExtReal, INFINITY
+from repro.semantics.fixpoint import (
+    ConvergenceError,
+    LoopOptions,
+    StateSpaceExceeded,
+)
+from repro.semantics.expectation import (
+    bounded_expectation,
+    const_expectation,
+    indicator,
+    lift_expectation,
+)
+from repro.semantics.wp import wlp, wp
+from repro.semantics.cwp import ConditioningError, cwp, invariant_sum_check
+from repro.semantics.ert import ert
+from repro.semantics.chain import LoopChain, extract_chain
+
+__all__ = [
+    "LoopChain",
+    "ert",
+    "extract_chain",
+    "ConditioningError",
+    "ConvergenceError",
+    "ExtReal",
+    "INFINITY",
+    "LoopOptions",
+    "StateSpaceExceeded",
+    "bounded_expectation",
+    "const_expectation",
+    "cwp",
+    "indicator",
+    "invariant_sum_check",
+    "lift_expectation",
+    "wlp",
+    "wp",
+]

@@ -1,0 +1,92 @@
+"""Value algebras for the expectation transformers.
+
+``wp``/``twp`` only ever combine post-expectation values with three
+operations: addition, scaling by a nonnegative rational, and injection of
+rational constants.  Abstracting those operations into an *algebra* lets
+the same structural evaluator compute
+
+- concrete expectations (algebra = extended nonnegative rationals), and
+- symbolic expectations that are linear in a set of unknowns (algebra =
+  linear expressions over a base algebra), which is how loops with finite
+  reachable state spaces are solved exactly: one unknown per reachable
+  state, one linear equation per loop unfolding.
+
+Nesting is free: a loop inside a loop is solved over linear expressions
+whose constants are themselves linear expressions.
+"""
+
+from fractions import Fraction
+
+from repro.semantics import extreal
+from repro.semantics.extreal import ExtReal
+from repro.semantics.linexpr import LinExpr
+
+
+class ExtRealAlgebra:
+    """The base algebra: extended nonnegative rationals."""
+
+    @staticmethod
+    def zero() -> ExtReal:
+        return extreal.ZERO
+
+    @staticmethod
+    def one() -> ExtReal:
+        return extreal.ONE
+
+    @staticmethod
+    def infinity() -> ExtReal:
+        return extreal.INFINITY
+
+    @staticmethod
+    def add(a: ExtReal, b: ExtReal) -> ExtReal:
+        return a + b
+
+    @staticmethod
+    def scale(q: Fraction, v: ExtReal) -> ExtReal:
+        return v.scale(q)
+
+    @staticmethod
+    def from_scalar(q) -> ExtReal:
+        return ExtReal.of(q)
+
+    @staticmethod
+    def is_symbolic() -> bool:
+        return False
+
+
+EXT_REAL = ExtRealAlgebra()
+
+
+class LinExprAlgebra:
+    """Linear expressions over a base algebra (see :mod:`linexpr`)."""
+
+    def __init__(self, base):
+        self.base = base
+
+    def zero(self) -> LinExpr:
+        return LinExpr(self.base.zero(), {})
+
+    def one(self) -> LinExpr:
+        return LinExpr(self.base.one(), {})
+
+    def infinity(self) -> LinExpr:
+        return LinExpr(self.base.infinity(), {})
+
+    @staticmethod
+    def add(a: LinExpr, b: LinExpr) -> LinExpr:
+        return a.add(b)
+
+    @staticmethod
+    def scale(q: Fraction, v: LinExpr) -> LinExpr:
+        return v.scale(q)
+
+    def from_scalar(self, q) -> LinExpr:
+        return LinExpr(self.base.from_scalar(q), {})
+
+    def lift(self, v) -> LinExpr:
+        """Inject a base-algebra value as a constant linear expression."""
+        return LinExpr(v, {})
+
+    @staticmethod
+    def is_symbolic() -> bool:
+        return True

@@ -1,0 +1,143 @@
+"""Expected running time of cpGCL programs (Kaminski 2019, Chapter 7).
+
+The ``ert`` transformer is the runtime analogue of ``wp``: ``ert c t``
+maps a state to the expected number of execution steps of ``c`` from it,
+plus the expected value of the continuation cost ``t`` over terminal
+states.  Divergence contributes +infinity (ert is a *least* fixpoint
+over the extended reals, but diverging mass accumulates unbounded time,
+so a.s.-divergent loops have infinite ert -- the usual "positive
+almost-sure termination" reading).
+
+Cost model (one tick per atomic step, the standard choice):
+
+===================  ================================================
+``skip``             ``1 + t``
+``x := e``           ``1 + t[x/e]``
+``observe e``        ``1 + [e] * t``  (failure stops execution)
+``c1; c2``           ``ert c1 (ert c2 t)``
+``if e ...``         ``1 + [e] ert c1 t + [not e] ert c2 t``
+``{c1}[p]{c2}``      ``1 + p ert c1 t + (1-p) ert c2 t``
+``uniform e x``      ``1 + avg_i t[x/i]``
+``while e do c``     ``lfp X. 1 + [e] ert c X + [not e] t``
+===================  ================================================
+
+The loop case reuses the same exact/iterative fixpoint engine as wp.
+For the iterative strategy the residual-mass certificate applies with
+the caveat that ert is unbounded, so convergence of the value sequence
+together with vanishing loop mass is the (standard) stopping rule; the
+exact strategy is exact.
+
+This transformer complements the pipeline-level ``expected_bits``
+analysis: ert counts *steps of the source program*, expected_bits counts
+*random bits of the compiled sampler*.
+"""
+
+from fractions import Fraction
+from typing import Callable, Optional
+
+from repro.lang.errors import ProbabilityRangeError, UniformRangeError
+from repro.lang.state import State
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.lang.values import as_bool, as_fraction, as_int
+from repro.semantics.algebra import EXT_REAL
+from repro.semantics.expectation import lift_expectation
+from repro.semantics.extreal import ExtReal
+from repro.semantics.fixpoint import DEFAULT_OPTIONS, LoopOptions, solve_loop
+
+
+def ert(
+    command: Command,
+    t: Optional[Callable[[State], object]] = None,
+    sigma: Optional[State] = None,
+    options: LoopOptions = DEFAULT_OPTIONS,
+):
+    """Expected running time of ``command`` with continuation cost ``t``
+    (default 0).  With ``sigma`` given returns the value there."""
+    t = lift_expectation(t) if t is not None else (lambda _s: ExtReal(0))
+    if sigma is None:
+        return lambda s: _ert(command, t, s, EXT_REAL, options)
+    return _ert(command, t, sigma, EXT_REAL, options)
+
+
+def _tick(alg, value):
+    return alg.add(alg.from_scalar(1), value)
+
+
+def _ert(command, t, sigma, alg, options):
+    if isinstance(command, Skip):
+        return _tick(alg, t(sigma))
+    if isinstance(command, Assign):
+        return _tick(alg, t(sigma.set(command.name, command.expr.eval(sigma))))
+    if isinstance(command, Seq):
+        second = command.second
+
+        def rest(s):
+            return _ert(second, t, s, alg, options)
+
+        return _ert(command.first, rest, sigma, alg, options)
+    if isinstance(command, Observe):
+        if as_bool(command.pred.eval(sigma)):
+            return _tick(alg, t(sigma))
+        return alg.from_scalar(1)
+    if isinstance(command, Ite):
+        taken = command.then if as_bool(command.cond.eval(sigma)) else command.orelse
+        return _tick(alg, _ert(taken, t, sigma, alg, options))
+    if isinstance(command, Choice):
+        p = as_fraction(command.prob.eval(sigma))
+        if not 0 <= p <= 1:
+            raise ProbabilityRangeError(p, sigma)
+        if p == 1:
+            return _tick(alg, _ert(command.left, t, sigma, alg, options))
+        if p == 0:
+            return _tick(alg, _ert(command.right, t, sigma, alg, options))
+        left = _ert(command.left, t, sigma, alg, options)
+        right = _ert(command.right, t, sigma, alg, options)
+        return _tick(alg, alg.add(alg.scale(p, left), alg.scale(1 - p, right)))
+    if isinstance(command, Uniform):
+        n = as_int(command.range_expr.eval(sigma))
+        if n <= 0:
+            raise UniformRangeError(n, sigma)
+        share = Fraction(1, n)
+        total = alg.zero()
+        for i in range(n):
+            total = alg.add(total, alg.scale(share, t(sigma.set(command.name, i))))
+        return _tick(alg, total)
+    if isinstance(command, While):
+        guard_expr, body = command.cond, command.body
+
+        def guard(s):
+            return as_bool(guard_expr.eval(s))
+
+        def step(s, h, step_alg):
+            return _tick(step_alg, _ert(body, h, s, step_alg, options))
+
+        def mass_step(s, h, step_alg):
+            # Convergence mass: the plain wp transition map (no ticks).
+            from repro.semantics.wp import wp_value
+
+            return wp_value(body, h, s, step_alg, False, False, options)
+
+        def exit_value(s):
+            return _tick(alg, t(s))
+
+        return solve_loop(
+            init_state=sigma,
+            guard=guard,
+            step=step,
+            exit_value=exit_value,
+            algebra=alg,
+            greatest=False,
+            options=options,
+            mass_step=mass_step,
+        )
+    raise TypeError("not a command: %r" % (command,))

@@ -1,0 +1,62 @@
+"""Expectations: functions from program states to extended reals.
+
+Helpers for building the post-expectations ``f : Sigma -> R∞≥0`` consumed
+by :func:`repro.semantics.wp.wp` and friends:
+
+- :func:`indicator` lifts a predicate to its Iverson bracket ``[Q]``;
+- :func:`const_expectation` builds a constant expectation;
+- :func:`lift_expectation` adapts a user function returning plain numbers;
+- :func:`bounded_expectation` checks the ``f <= 1`` side condition of
+  the liberal transformer (Definition 2.3).
+"""
+
+from typing import Callable
+
+from repro.lang.state import State
+from repro.semantics import extreal
+from repro.semantics.extreal import ExtReal
+
+
+def indicator(pred: Callable[[State], bool]) -> Callable[[State], ExtReal]:
+    """The Iverson bracket ``[pred]`` as an expectation."""
+
+    def f(sigma: State) -> ExtReal:
+        return extreal.ONE if pred(sigma) else extreal.ZERO
+
+    return f
+
+
+def const_expectation(value) -> Callable[[State], ExtReal]:
+    """The constant expectation ``lambda _. value``."""
+    v = ExtReal.of(value)
+
+    def f(_sigma: State) -> ExtReal:
+        return v
+
+    return f
+
+
+def lift_expectation(f: Callable[[State], object]) -> Callable[[State], ExtReal]:
+    """Wrap a function returning int/Fraction/ExtReal into an expectation."""
+
+    def g(sigma: State) -> ExtReal:
+        return ExtReal.of(f(sigma))
+
+    return g
+
+
+def bounded_expectation(
+    f: Callable[[State], ExtReal],
+) -> Callable[[State], ExtReal]:
+    """Check pointwise that ``f <= 1`` (the wlp domain restriction)."""
+
+    def g(sigma: State) -> ExtReal:
+        value = ExtReal.of(f(sigma))
+        if not value <= extreal.ONE:
+            raise ValueError(
+                "wlp requires a bounded expectation; got %s at %s"
+                % (value, sigma)
+            )
+        return value
+
+    return g

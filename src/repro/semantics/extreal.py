@@ -1,0 +1,169 @@
+"""Extended nonnegative rationals: the expectation value domain.
+
+Expectations in the paper take values in ``R>=0`` extended with +infinity
+(written ``R∞≥0``).  We restrict to extended nonnegative *rationals*, which
+suffices because cpGCL probabilities are rational (Section 1.3) and lets
+every semantic computation be exact.
+
+The multiplication convention ``0 * inf = 0`` is the standard one from
+measure theory and is required by the wp rules (an Iverson bracket of 0
+must annihilate an infinite branch expectation).
+"""
+
+from fractions import Fraction
+from typing import Union
+
+_NumberLike = Union[int, Fraction, "ExtReal"]
+
+
+class ExtReal:
+    """An element of R∞≥0 ∩ (Q ∪ {+∞}): a nonnegative rational or +∞."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[int, Fraction, None]):
+        """``value`` is a nonnegative int/Fraction, or ``None`` for +∞."""
+        if value is not None:
+            if isinstance(value, bool):
+                raise TypeError("booleans are not extended reals")
+            value = Fraction(value)
+            if value < 0:
+                raise ValueError("extended reals are nonnegative: %s" % value)
+        object.__setattr__(self, "_value", value)
+
+    def __setattr__(self, *_):
+        raise AttributeError("ExtReal is immutable")
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def of(x: _NumberLike) -> "ExtReal":
+        if isinstance(x, ExtReal):
+            return x
+        return ExtReal(x)
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def is_infinite(self) -> bool:
+        return self._value is None
+
+    @property
+    def is_finite(self) -> bool:
+        return self._value is not None
+
+    def as_fraction(self) -> Fraction:
+        """The underlying rational; raises on +∞."""
+        if self._value is None:
+            raise OverflowError("infinite extended real has no fraction")
+        return self._value
+
+    def __float__(self) -> float:
+        return float("inf") if self._value is None else float(self._value)
+
+    # -- arithmetic ------------------------------------------------------
+
+    def __add__(self, other: _NumberLike) -> "ExtReal":
+        other = ExtReal.of(other)
+        if self._value is None or other._value is None:
+            return INFINITY
+        return ExtReal(self._value + other._value)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: _NumberLike) -> "ExtReal":
+        other = ExtReal.of(other)
+        if self._value == 0 or other._value == 0:
+            return ZERO  # 0 * inf = 0
+        if self._value is None or other._value is None:
+            return INFINITY
+        return ExtReal(self._value * other._value)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: _NumberLike) -> "ExtReal":
+        other = ExtReal.of(other)
+        if other._value == 0:
+            raise ZeroDivisionError("division of extended real by zero")
+        if other._value is None:
+            if self._value is None:
+                raise ArithmeticError("inf / inf is undefined")
+            return ZERO
+        if self._value is None:
+            return INFINITY
+        return ExtReal(self._value / other._value)
+
+    def __sub__(self, other: _NumberLike) -> "ExtReal":
+        """Truncated subtraction; defined when the result is nonnegative.
+
+        Used only for convergence measurement and for the invariant-sum
+        property ``wp + wlp = 1`` where the result is known nonnegative.
+        """
+        other = ExtReal.of(other)
+        if other._value is None:
+            raise ArithmeticError("cannot subtract infinity")
+        if self._value is None:
+            return INFINITY
+        return ExtReal(self._value - other._value)
+
+    def scale(self, q: Fraction) -> "ExtReal":
+        """Multiply by a nonnegative rational scalar (0 * inf = 0)."""
+        if q < 0:
+            raise ValueError("scalars must be nonnegative: %s" % q)
+        if q == 0:
+            return ZERO
+        if self._value is None:
+            return INFINITY
+        return ExtReal(self._value * q)
+
+    # -- order -----------------------------------------------------------
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (int, Fraction)) and not isinstance(other, bool):
+            other = ExtReal(other)
+        if not isinstance(other, ExtReal):
+            return NotImplemented
+        return self._value == other._value
+
+    def __hash__(self) -> int:
+        return hash(("ExtReal", self._value))
+
+    def __le__(self, other: _NumberLike) -> bool:
+        other = ExtReal.of(other)
+        if self._value is None:
+            return other._value is None
+        if other._value is None:
+            return True
+        return self._value <= other._value
+
+    def __lt__(self, other: _NumberLike) -> bool:
+        other = ExtReal.of(other)
+        return self <= other and self != other
+
+    def __ge__(self, other: _NumberLike) -> bool:
+        return ExtReal.of(other) <= self
+
+    def __gt__(self, other: _NumberLike) -> bool:
+        return ExtReal.of(other) < self
+
+    def distance(self, other: "ExtReal") -> "ExtReal":
+        """|self - other|, with d(inf, inf) = 0 and d(inf, finite) = inf."""
+        other = ExtReal.of(other)
+        if self._value is None and other._value is None:
+            return ZERO
+        if self._value is None or other._value is None:
+            return INFINITY
+        return ExtReal(abs(self._value - other._value))
+
+    def __repr__(self) -> str:
+        if self._value is None:
+            return "ExtReal(inf)"
+        return "ExtReal(%s)" % (self._value,)
+
+    def __str__(self) -> str:
+        return "inf" if self._value is None else str(self._value)
+
+
+ZERO = ExtReal(0)
+ONE = ExtReal(1)
+INFINITY = ExtReal(None)

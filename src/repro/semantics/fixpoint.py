@@ -1,0 +1,293 @@
+"""The shared loop-fixpoint engine.
+
+Both the wp/wlp transformers on cpGCL (`while`, Definitions 2.2/2.3) and
+the twp/twlp semantics of choice-fix trees (`Fix`, Definitions 3.2/3.3)
+need the same object: the least (or, for the liberal variants, greatest)
+fixpoint of a monotone affine functional
+
+    h(s) = step(s, h)        if guard(s)
+    h(s) = exit_value(s)     otherwise
+
+evaluated at an initial state.  This module provides that computation with
+two strategies:
+
+- :func:`solve_exact` -- enumerate the loop-head states reachable through
+  ``step`` (up to ``max_states``), introduce one linear unknown per state,
+  and solve the resulting system exactly (:mod:`linsolve`).  Works over
+  any value algebra, including symbolic ones (nested loops).
+
+- :func:`solve_iterate` -- Kleene/value iteration from the bottom element
+  (0 for least, 1 for greatest fixpoints) with convergence detection.
+  Only available over the concrete extended-real algebra.  Iterates are
+  monotone, so the result is a sound lower bound for wp and upper bound
+  for wlp, within ``tol`` of the true value at detected convergence.
+
+``solve_loop`` composes them according to :class:`LoopOptions`.
+"""
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List
+
+from repro.semantics.algebra import LinExprAlgebra
+from repro.semantics.extreal import ExtReal
+from repro.semantics.linexpr import LinExpr, Unknown
+from repro.semantics.linsolve import SingularSystem, solve_monotone
+
+
+class StateSpaceExceeded(Exception):
+    """The loop's reachable state space exceeded ``max_states``."""
+
+
+class ConvergenceError(Exception):
+    """Kleene iteration failed to converge within ``max_rounds``."""
+
+
+@dataclass(frozen=True)
+class LoopOptions:
+    """Strategy and budgets for loop fixpoints.
+
+    strategy:
+        ``"auto"`` tries the exact solver and falls back to iteration;
+        ``"exact"`` / ``"iterate"`` force one strategy.
+    max_states:
+        Cap on reachable loop-head states for the exact solver.
+    tol:
+        Convergence tolerance for iteration (exact rational comparison).
+    max_rounds:
+        Iteration budget before raising :class:`ConvergenceError`.
+    stable_rounds:
+        Number of consecutive sub-``tol`` increments required to declare
+        convergence (guards against slow plateaus).
+    """
+
+    strategy: str = "auto"
+    max_states: int = 20000
+    tol: Fraction = Fraction(1, 10**12)
+    max_rounds: int = 200000
+    stable_rounds: int = 3
+
+    def __post_init__(self):
+        if self.strategy not in ("auto", "exact", "iterate"):
+            raise ValueError("unknown loop strategy %r" % (self.strategy,))
+
+
+DEFAULT_OPTIONS = LoopOptions()
+
+
+def solve_loop(
+    init_state,
+    guard: Callable,
+    step: Callable,
+    exit_value: Callable,
+    algebra,
+    greatest: bool,
+    options: LoopOptions = DEFAULT_OPTIONS,
+    mass_step: Callable = None,
+):
+    """Value at ``init_state`` of the loop fixpoint described above.
+
+    ``step(s, h, alg)`` must evaluate one unfolding of the loop body from
+    loop-head state ``s`` *over the value algebra* ``alg``, calling
+    ``h(s')`` for the value at successor states (whether or not they
+    satisfy the guard); ``h`` dispatches to a fresh unknown, to
+    ``exit_value``, or to the previous iterate depending on the strategy.
+    The exact strategy passes a symbolic (linear-expression) algebra, the
+    iterative strategy the concrete one.  ``greatest`` selects
+    greatest-fixpoint mode (wlp).  ``exit_value`` always produces values
+    in the caller's ``algebra``.
+
+    ``mass_step`` is the *pure transition-mass* variant of ``step`` used
+    by the iterative strategy's convergence criterion: it must evaluate
+    the body as a substochastic map (no constants injected mid-loop --
+    i.e. a twp/wp with ``flag=False``).  When ``step`` already has that
+    shape it may be omitted and is used for both purposes.
+    """
+    if not guard(init_state):
+        return exit_value(init_state)
+    symbolic = algebra.is_symbolic()
+    if options.strategy == "iterate" and symbolic:
+        raise ValueError("iteration is not defined over symbolic algebras")
+    if options.strategy in ("auto", "exact"):
+        try:
+            return solve_exact(
+                init_state, guard, step, exit_value, algebra, greatest, options
+            )
+        except (StateSpaceExceeded, SingularSystem):
+            if options.strategy == "exact" or symbolic:
+                raise
+    return solve_iterate(
+        init_state, guard, step, exit_value, algebra, greatest, options,
+        mass_step=mass_step,
+    )
+
+
+def solve_exact(
+    init_state,
+    guard,
+    step,
+    exit_value,
+    algebra,
+    greatest: bool,
+    options: LoopOptions = DEFAULT_OPTIONS,
+):
+    """Exact fixpoint via linear solving over the reachable state space."""
+    lin = LinExprAlgebra(algebra)
+    unknowns: Dict[object, Unknown] = {}
+    order: List[object] = []
+    equations: Dict[object, LinExpr] = {}
+
+    def unknown_for(s):
+        if s not in unknowns:
+            if len(unknowns) >= options.max_states:
+                raise StateSpaceExceeded(
+                    "more than %d reachable loop states" % options.max_states
+                )
+            unknowns[s] = Unknown()
+            order.append(s)
+        return unknowns[s]
+
+    def h(s):
+        if guard(s):
+            return LinExpr.unknown(unknown_for(s), algebra.zero())
+        return lin.lift(exit_value(s))
+
+    unknown_for(init_state)
+    frontier = 0
+    while frontier < len(order):
+        s = order[frontier]
+        frontier += 1
+        value = step(s, h, lin)
+        if not isinstance(value, LinExpr):
+            value = lin.lift(value)
+        equations[s] = value
+
+    n = len(order)
+    index = {unknowns[s]: i for i, s in enumerate(order)}
+    matrix = [[Fraction(0)] * n for _ in range(n)]
+    consts = []
+    for i, s in enumerate(order):
+        eq = equations[s]
+        for x, q in eq.coeffs.items():
+            matrix[i][index[x]] = q
+        consts.append(eq.const)
+
+    solution = solve_monotone(matrix, default_one=greatest)
+
+    def unknown_value(i):
+        value = algebra.scale(solution.ones[i], algebra.one())
+        for j, q in enumerate(solution.coeffs[i]):
+            if q != 0:
+                value = algebra.add(value, algebra.scale(q, consts[j]))
+        return value
+
+    values = [unknown_value(i) for i in range(n)]
+    if not greatest and not _is_fixpoint(matrix, consts, values, algebra):
+        # The finite candidate is inconsistent: a divergent class keeps
+        # accumulating constant inflow (e.g. the +1 ticks of an expected
+        # running time), so the least fixpoint over the extended reals
+        # is +infinity -- and the queried state reaches that class with
+        # positive probability (exploration only follows positive-mass
+        # transitions).
+        return algebra.infinity()
+    return values[0]
+
+
+def _is_fixpoint(matrix, consts, values, algebra) -> bool:
+    """Check X = C X + d holds for the candidate solution (exactly)."""
+    n = len(values)
+    for i in range(n):
+        rhs = consts[i]
+        for j in range(n):
+            q = matrix[i][j]
+            if q != 0:
+                rhs = algebra.add(rhs, algebra.scale(q, values[j]))
+        if values[i] != rhs:
+            return False
+    return True
+
+
+def solve_iterate(
+    init_state,
+    guard,
+    step,
+    exit_value,
+    algebra,
+    greatest: bool,
+    options: LoopOptions = DEFAULT_OPTIONS,
+    mass_step=None,
+):
+    """Kleene/value iteration over the discovered state space.
+
+    Maintains the current iterate on every loop-head state discovered so
+    far; undiscovered states read as the bottom element (0 for least, 1
+    for greatest fixpoints), which preserves monotonicity of the sequence.
+
+    Convergence criterion: alongside the expectation iterate we iterate
+    the *residual loop mass* ``m_n(s)`` -- the probability of still being
+    inside the loop after ``n`` unfoldings (for observe-carrying bodies,
+    failure exits the loop and sheds its mass, which only tightens the
+    bound).  For post-expectations bounded by ``B`` the distance to the
+    fixpoint at the initial state is at most ``m_n(init) * B``, so we stop
+    once ``m_n(init) <= tol`` and the value has been stable for
+    ``stable_rounds`` rounds.  Almost-surely terminating loops (the class
+    the paper compiles, Section 1.3) have ``m_n -> 0``; loops that retain
+    mass forever exhaust ``max_rounds`` and raise
+    :class:`ConvergenceError` (the exact strategy handles those when the
+    state space is finite).
+    """
+    if algebra.is_symbolic():
+        raise ValueError("iteration requires the concrete algebra")
+    if mass_step is None:
+        mass_step = step
+    bottom = algebra.one() if greatest else algebra.zero()
+    one = algebra.one()
+    zero = algebra.zero()
+    values: Dict[object, ExtReal] = {init_state: bottom}
+    masses: Dict[object, ExtReal] = {init_state: one}
+    pending: List[object] = []
+    exit_cache: Dict[object, ExtReal] = {}
+
+    def h(s):
+        if guard(s):
+            if s not in values:
+                pending.append(s)
+                return bottom
+            return values[s]
+        if s not in exit_cache:
+            exit_cache[s] = exit_value(s)
+        return exit_cache[s]
+
+    def h_mass(s):
+        if guard(s):
+            # Undiscovered states conservatively hold full mass.
+            return masses.get(s, one)
+        return zero
+
+    tol = ExtReal(options.tol)
+    stable = 0
+    previous = bottom
+    for _ in range(options.max_rounds):
+        new_values = {}
+        new_masses = {}
+        for s in values:
+            new_values[s] = step(s, h, algebra)
+            new_masses[s] = mass_step(s, h_mass, algebra)
+        for s in pending:
+            new_values.setdefault(s, bottom)
+            new_masses.setdefault(s, one)
+        pending.clear()
+        values = new_values
+        masses = new_masses
+        current = values[init_state]
+        if current.distance(previous) <= tol:
+            stable += 1
+            if stable >= options.stable_rounds and masses[init_state] <= tol:
+                return current
+        else:
+            stable = 0
+        previous = current
+    raise ConvergenceError(
+        "loop iteration did not converge within %d rounds "
+        "(does the loop terminate almost surely?)" % options.max_rounds
+    )

@@ -1,0 +1,105 @@
+"""Linear expressions over unknowns, with values in a base algebra.
+
+A :class:`LinExpr` is ``const + sum_i q_i * X_i`` where the ``q_i`` are
+nonnegative rational coefficients, the ``X_i`` are :class:`Unknown` tags
+(one per reachable loop-head state in the exact loop solver), and ``const``
+lives in an arbitrary base algebra (extended reals, or nested linear
+expressions for nested loops).
+
+Expectation transformers are linear in the post-expectation, so evaluating
+a loop body's wp with symbolic post-expectation values produces exactly
+these objects; the loop's fixpoint is then the solution of the resulting
+linear system (:mod:`repro.semantics.linsolve`).
+"""
+
+import itertools
+from fractions import Fraction
+from typing import Dict
+
+
+class Unknown:
+    """A fresh symbolic unknown (identity-based, with a debug label)."""
+
+    __slots__ = ("uid", "label")
+
+    _counter = itertools.count()
+
+    def __init__(self, label: str = ""):
+        object.__setattr__(self, "uid", next(Unknown._counter))
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, *_):
+        raise AttributeError("Unknown is immutable")
+
+    def __repr__(self):
+        return "X%d%s" % (self.uid, "[%s]" % self.label if self.label else "")
+
+
+class LinExpr:
+    """``const + sum q_i * X_i`` with nonnegative rational coefficients."""
+
+    __slots__ = ("const", "coeffs")
+
+    def __init__(self, const, coeffs: Dict[Unknown, Fraction]):
+        object.__setattr__(self, "const", const)
+        object.__setattr__(
+            self, "coeffs", {x: q for x, q in coeffs.items() if q != 0}
+        )
+
+    def __setattr__(self, *_):
+        raise AttributeError("LinExpr is immutable")
+
+    @staticmethod
+    def unknown(x: Unknown, base_zero) -> "LinExpr":
+        """The expression ``1 * x`` (constant part = base algebra zero)."""
+        return LinExpr(base_zero, {x: Fraction(1)})
+
+    def add(self, other: "LinExpr") -> "LinExpr":
+        coeffs = dict(self.coeffs)
+        for x, q in other.coeffs.items():
+            coeffs[x] = coeffs.get(x, Fraction(0)) + q
+        return LinExpr(_add_const(self.const, other.const), coeffs)
+
+    def scale(self, q: Fraction) -> "LinExpr":
+        if q == 0:
+            return LinExpr(_scale_const(Fraction(0), self.const), {})
+        return LinExpr(
+            _scale_const(q, self.const),
+            {x: c * q for x, c in self.coeffs.items()},
+        )
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def __eq__(self, other):
+        if not isinstance(other, LinExpr):
+            return NotImplemented
+        return self.const == other.const and self.coeffs == other.coeffs
+
+    def __hash__(self):
+        return hash((repr(self.const), tuple(sorted(
+            (x.uid, q) for x, q in self.coeffs.items()
+        ))))
+
+    def __repr__(self):
+        parts = [repr(self.const)]
+        parts += ["%s*%r" % (q, x) for x, q in sorted(
+            self.coeffs.items(), key=lambda item: item[0].uid
+        )]
+        return "LinExpr(%s)" % " + ".join(parts)
+
+
+def _add_const(a, b):
+    """Add base-algebra constants (ExtReal or nested LinExpr)."""
+    if isinstance(a, LinExpr):
+        return a.add(b)
+    return a + b
+
+
+def _scale_const(q: Fraction, v):
+    """Scale a base-algebra constant by a nonnegative rational.
+
+    Both ExtReal and (nested) LinExpr constants expose ``.scale``.
+    """
+    return v.scale(q)

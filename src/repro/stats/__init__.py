@@ -1,0 +1,33 @@
+"""Statistics substrate: the ``analyze.py`` side of the paper's evaluation.
+
+Divergence measures (TV, KL, SMAPE), empirical distributions, the exact
+true posteriors of every evaluated program, and Shannon-entropy /
+Knuth-Yao bounds.
+"""
+
+from repro.stats.divergence import kl_divergence, smape, tv_distance
+from repro.stats.empirical import empirical_pmf
+from repro.stats.distributions import (
+    bernoulli_exp_pmf,
+    bernoulli_pmf,
+    discrete_gaussian_pmf,
+    discrete_laplace_pmf,
+    geometric_primes_pmf,
+    uniform_pmf,
+)
+from repro.stats.entropy import knuth_yao_bounds, shannon_entropy
+
+__all__ = [
+    "bernoulli_exp_pmf",
+    "bernoulli_pmf",
+    "discrete_gaussian_pmf",
+    "discrete_laplace_pmf",
+    "empirical_pmf",
+    "geometric_primes_pmf",
+    "kl_divergence",
+    "knuth_yao_bounds",
+    "shannon_entropy",
+    "smape",
+    "tv_distance",
+    "uniform_pmf",
+]

@@ -1,0 +1,111 @@
+"""Exact true posteriors for every program in the evaluation (Section 5).
+
+Each function returns a pmf as a dict over an effectively complete
+support (tails are truncated once the omitted mass is below ``tail_eps``
+and the result renormalized, which is what comparing against 100k-sample
+empirical distributions requires).
+
+Note on the geometric-primes posterior: the paper states
+``Pr(X = h | h prime) = (1-p)^(h+1) / sum_k (1-p)^(k+1)`` (Section 5.2),
+but the program of Figure 1a continues the loop with probability ``p``,
+so ``P(h) = p^h (1 - p)`` and the conditional posterior is proportional
+to ``p^h``.  The paper's own Table 2 means (e.g. mu_h = 3.24 at p = 2/3,
+2.19 at p = 1/5) match ``p^h``, not ``(1-p)^(h+1)`` (the two coincide at
+p = 1/2); we implement and document the ``p^h`` form (see EXPERIMENTS.md).
+"""
+
+import math
+from fractions import Fraction
+from typing import Dict
+
+from repro.lang.builtins import is_prime
+
+
+def bernoulli_pmf(p) -> Dict[bool, float]:
+    """Bernoulli(p) over {True, False}."""
+    p = float(p)
+    if not 0 <= p <= 1:
+        raise ValueError("bias outside [0, 1]")
+    return {True: p, False: 1.0 - p}
+
+
+def uniform_pmf(n: int, start: int = 0) -> Dict[int, float]:
+    """Uniform over ``{start, .., start + n - 1}``."""
+    if n <= 0:
+        raise ValueError("need a positive range")
+    return {start + i: 1.0 / n for i in range(n)}
+
+
+def geometric_primes_pmf(p, tail_eps: float = 1e-14) -> Dict[int, float]:
+    """Posterior over prime ``h`` for the program of Figure 1a:
+    ``P(h) ∝ p^h`` restricted to the primes (see module docstring)."""
+    p = float(p)
+    if not 0 < p < 1:
+        raise ValueError("bias must lie in (0, 1)")
+    weights: Dict[int, float] = {}
+    h = 2
+    # Truncate once the entire remaining geometric tail is negligible
+    # relative to the accumulated mass.
+    total = 0.0
+    while True:
+        if is_prime(h):
+            weights[h] = p ** h
+            total += weights[h]
+        tail = p ** (h + 1) / (1.0 - p)
+        if total > 0 and tail < tail_eps * total:
+            break
+        h += 1
+    return {h: w / total for h, w in weights.items()}
+
+
+def bernoulli_exp_pmf(gamma) -> Dict[bool, float]:
+    """Bernoulli(exp(-gamma)) over {True, False} (Figure 11)."""
+    gamma = float(gamma)
+    if gamma < 0:
+        raise ValueError("gamma must be nonnegative")
+    p = math.exp(-gamma)
+    return {True: p, False: 1.0 - p}
+
+
+def discrete_laplace_pmf(s: int, t: int, tail_eps: float = 1e-14) -> Dict[int, float]:
+    """``Lap_Z(t/s)``: ``P(x) = (e^(s/t) - 1)/(e^(s/t) + 1) * e^(-|x| s/t)``
+    (Canonne et al. 2020; Figure 12 samples this with scale ``t/s``)."""
+    if s <= 0 or t <= 0:
+        raise ValueError("s and t must be positive integers")
+    rate = s / t  # 1/b for scale b = t/s
+    norm = (math.exp(rate) - 1.0) / (math.exp(rate) + 1.0)
+    pmf: Dict[int, float] = {0: norm}
+    x = 1
+    while True:
+        mass = norm * math.exp(-rate * x)
+        pmf[x] = mass
+        pmf[-x] = mass
+        # Remaining two-sided tail of the geometric envelope:
+        tail = 2.0 * norm * math.exp(-rate * (x + 1)) / (1.0 - math.exp(-rate))
+        if tail < tail_eps:
+            break
+        x += 1
+    total = sum(pmf.values())
+    return {k: v / total for k, v in pmf.items()}
+
+
+def discrete_gaussian_pmf(mu, sigma, tail_eps: float = 1e-14) -> Dict[int, float]:
+    """``N_Z(mu, sigma^2)``: ``P(x) ∝ exp(-(x - mu)^2 / (2 sigma^2))``
+    over the integers (Canonne et al. 2020; Figure 13)."""
+    mu = float(Fraction(mu)) if not isinstance(mu, float) else mu
+    sigma = float(Fraction(sigma)) if not isinstance(sigma, float) else sigma
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    center = int(round(mu))
+    weights: Dict[int, float] = {}
+    radius = 0
+    while True:
+        for x in {center - radius, center + radius}:
+            weights[x] = math.exp(-((x - mu) ** 2) / (2.0 * sigma * sigma))
+        # Gaussian tails decay superexponentially; stop a comfortable
+        # number of standard deviations out.
+        if radius > 8 * sigma + 2 and weights[center + radius] < tail_eps:
+            break
+        radius += 1
+    total = sum(weights.values())
+    return {x: w / total for x, w in weights.items()}

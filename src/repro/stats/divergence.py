@@ -1,0 +1,60 @@
+"""Divergence measures used by the evaluation (Section 5).
+
+All three compare an empirical distribution ``p`` against the true
+distribution ``q``, both given as mappings from outcomes to
+probabilities:
+
+- total variation distance ``TV = 1/2 sum |p - q|``;
+- Kullback-Leibler divergence ``KL(p || q) = sum p log(p/q)`` (Kullback
+  and Leibler 1951) -- terms with ``p = 0`` contribute 0; ``p > 0`` with
+  ``q = 0`` makes the divergence infinite;
+- Symmetric Mean Absolute Percentage Error (Armstrong 1985)
+  ``SMAPE = 1/n sum |p - q| / (p + q)`` over the support union,
+  following the paper's use of it as a relative accuracy measure.
+"""
+
+import math
+from typing import Dict, Hashable
+
+Pmf = Dict[Hashable, float]
+
+
+def _support(p: Pmf, q: Pmf):
+    return set(p) | set(q)
+
+
+def tv_distance(p: Pmf, q: Pmf) -> float:
+    """Total variation distance ``1/2 * L1``."""
+    return 0.5 * sum(
+        abs(float(p.get(x, 0.0)) - float(q.get(x, 0.0)))
+        for x in _support(p, q)
+    )
+
+
+def kl_divergence(p: Pmf, q: Pmf) -> float:
+    """``KL(p || q)`` in nats; +inf when p puts mass outside q's support."""
+    total = 0.0
+    for x in _support(p, q):
+        px = float(p.get(x, 0.0))
+        if px == 0.0:
+            continue
+        qx = float(q.get(x, 0.0))
+        if qx == 0.0:
+            return math.inf
+        total += px * math.log(px / qx)
+    return total
+
+
+def smape(p: Pmf, q: Pmf) -> float:
+    """Symmetric mean absolute percentage error over the support union."""
+    support = _support(p, q)
+    if not support:
+        raise ValueError("empty support")
+    total = 0.0
+    for x in support:
+        px = float(p.get(x, 0.0))
+        qx = float(q.get(x, 0.0))
+        if px + qx == 0.0:
+            continue
+        total += abs(px - qx) / (px + qx)
+    return total / len(support)

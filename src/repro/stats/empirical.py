@@ -1,0 +1,13 @@
+"""Empirical distributions from sample sets."""
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable
+
+
+def empirical_pmf(values: Iterable[Hashable]) -> Dict[Hashable, float]:
+    """Relative frequencies of the observed outcomes."""
+    counts = Counter(values)
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("no samples")
+    return {value: count / total for value, count in counts.items()}

@@ -1,0 +1,30 @@
+"""Shannon entropy and the Knuth-Yao optimality band.
+
+Knuth and Yao (1976) showed that any sampler in the random bit model
+needs at least ``H`` expected fair bits per i.i.d. sample, and that an
+entropy-optimal sampler needs less than ``H + 2``; the paper's samplers
+are *not* guaranteed optimal (Section 1.3) but land near the band in
+several cases (Table 3), which the benchmark suite verifies.
+"""
+
+import math
+from typing import Dict, Hashable, Tuple
+
+
+def shannon_entropy(pmf: Dict[Hashable, float]) -> float:
+    """Entropy in bits (base 2)."""
+    total = 0.0
+    for probability in pmf.values():
+        p = float(probability)
+        if p < 0:
+            raise ValueError("negative probability %r" % (probability,))
+        if p > 0:
+            total -= p * math.log2(p)
+    return total
+
+
+def knuth_yao_bounds(pmf: Dict[Hashable, float]) -> Tuple[float, float]:
+    """The band ``[H, H + 2)`` within which an entropy-optimal sampler's
+    expected bit consumption must fall."""
+    h = shannon_entropy(pmf)
+    return h, h + 2.0

@@ -1,0 +1,18 @@
+"""The high-assurance uniform-sampling package (Section 5.3).
+
+The paper ships a Python 3 package exposing verified uniform samplers
+extracted from Coq as a drop-in replacement for ad-hoc uniform sampling;
+this subpackage mirrors its interface on top of the reproduction's
+pipeline.
+"""
+
+from repro.uniform.api import ZarUniform, uniform_int, uniform_ints
+from repro.uniform.categorical import ZarCategorical, categorical_tree
+
+__all__ = [
+    "ZarCategorical",
+    "ZarUniform",
+    "categorical_tree",
+    "uniform_int",
+    "uniform_ints",
+]

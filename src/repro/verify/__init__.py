@@ -1,0 +1,33 @@
+"""Executable statements of the paper's theorems.
+
+The Coq development proves these universally; a Python reproduction
+checks them *exactly* (rational arithmetic, zero tolerance) on concrete
+and randomly generated inputs, and *statistically* where the statement
+itself is about sample sequences (Theorem 4.2).  See DESIGN.md
+section 2 for the substitution rationale.
+"""
+
+from repro.verify.theorems import (
+    check_cf_compiler_correctness,
+    check_debias_sound,
+    check_debias_unbiased,
+    check_end_to_end,
+    check_equidistribution,
+    check_invariant_sum,
+    check_uniform_tree,
+)
+from repro.verify.fuzz import Discrepancy, FuzzReport, fuzz, fuzz_one
+
+__all__ = [
+    "Discrepancy",
+    "FuzzReport",
+    "fuzz",
+    "fuzz_one",
+    "check_cf_compiler_correctness",
+    "check_debias_sound",
+    "check_debias_unbiased",
+    "check_end_to_end",
+    "check_equidistribution",
+    "check_invariant_sum",
+    "check_uniform_tree",
+]

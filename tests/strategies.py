@@ -1,0 +1,162 @@
+"""Hypothesis strategies for cpGCL programs, expressions, and CF trees.
+
+Generation is type-directed: numeric and boolean expressions are drawn
+from separate strategies so generated programs always evaluate without
+type errors.  Loop-free program generation is the workhorse of the
+compiler-correctness property tests (Theorem 3.7 is checked *exactly* on
+every generated program).
+"""
+
+from fractions import Fraction
+
+from hypothesis import strategies as st
+
+from repro.cftree.tree import Choice as TChoice, Fail, Leaf
+from repro.lang.expr import BinOp, Call, Lit, UnOp, Var
+from repro.lang.state import State
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+)
+
+VAR_NAMES = ("x", "y", "z")
+
+probabilities = st.builds(
+    Fraction,
+    st.integers(min_value=0, max_value=16),
+    st.just(16),
+)
+
+strict_probabilities = st.builds(
+    Fraction,
+    st.integers(min_value=1, max_value=15),
+    st.just(16),
+)
+
+small_ints = st.integers(min_value=-8, max_value=8)
+
+var_names = st.sampled_from(VAR_NAMES)
+
+
+def numeric_expr(depth: int = 2):
+    """Integer-valued expressions over the fixed variable set."""
+    base = st.one_of(
+        st.builds(Lit, small_ints),
+        st.builds(Var, var_names),
+    )
+    if depth <= 0:
+        return base
+    sub = numeric_expr(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(
+            BinOp,
+            st.sampled_from(["+", "-", "*"]),
+            sub,
+            sub,
+        ),
+        st.builds(UnOp, st.just("-"), sub),
+        st.builds(lambda a: Call("abs", [a]), sub),
+    )
+
+
+def bool_expr(depth: int = 2):
+    """Boolean-valued expressions over the fixed variable set."""
+    base = st.one_of(
+        st.builds(Lit, st.booleans()),
+        st.builds(
+            BinOp,
+            st.sampled_from(["<", "<=", "==", "!=", ">", ">="]),
+            numeric_expr(1),
+            numeric_expr(1),
+        ),
+        st.builds(lambda a: Call("even", [a]), numeric_expr(1)),
+    )
+    if depth <= 0:
+        return base
+    sub = bool_expr(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(BinOp, st.sampled_from(["and", "or"]), sub, sub),
+        st.builds(UnOp, st.just("not"), sub),
+    )
+
+
+def loop_free_command(depth: int = 3, allow_observe: bool = True):
+    """Loop-free cpGCL commands (the Theorem 3.7 exact-check domain)."""
+    leaves = [
+        st.just(Skip()),
+        st.builds(Assign, var_names, numeric_expr(2)),
+        st.builds(Uniform, st.integers(min_value=1, max_value=6), var_names),
+    ]
+    if allow_observe:
+        leaves.append(st.builds(Observe, bool_expr(1)))
+    base = st.one_of(*leaves)
+    if depth <= 0:
+        return base
+    sub = loop_free_command(depth - 1, allow_observe)
+    return st.one_of(
+        base,
+        st.builds(Seq, sub, sub),
+        st.builds(Ite, bool_expr(1), sub, sub),
+        st.builds(Choice, probabilities, sub, sub),
+    )
+
+
+def commands_with_loops(depth: int = 2):
+    """Commands that may contain (almost-surely terminating) loops.
+
+    Loops are built from a template guaranteed to terminate: a geometric
+    retry on a fresh counter bounded by a small constant, so wp/tcwp
+    iteration always converges quickly.
+    """
+    bounded_loop = st.builds(
+        lambda body, bound: Seq(
+            Assign("k", Lit(0)),
+            _bounded_while(body, bound),
+        ),
+        loop_free_command(1, allow_observe=False),
+        st.integers(min_value=1, max_value=3),
+    )
+    sub = loop_free_command(depth, allow_observe=True)
+    return st.one_of(sub, st.builds(Seq, sub, bounded_loop))
+
+
+def _bounded_while(body, bound):
+    from repro.lang.syntax import While
+
+    guard = BinOp("<", Var("k"), Lit(bound))
+    increment = Assign("k", BinOp("+", Var("k"), Lit(1)))
+    return While(guard, Seq(body, increment))
+
+
+def cf_trees(depth: int = 3):
+    """Finite CF trees over small integer leaves (no Fix nodes --
+    those carry functions and are exercised through compiled programs)."""
+    base = st.one_of(
+        st.builds(Leaf, st.integers(min_value=0, max_value=5)),
+        st.just(Fail()),
+    )
+    if depth <= 0:
+        return base
+    sub = cf_trees(depth - 1)
+    return st.one_of(base, st.builds(TChoice, probabilities, sub, sub))
+
+
+# Generated expressions read x/y/z numerically, so generated states bind
+# them to integers only; boolean-valued bindings go to separate names.
+states = st.builds(
+    lambda pairs: State(dict(pairs)),
+    st.lists(st.tuples(var_names, small_ints), max_size=3),
+)
+
+mixed_states = st.builds(
+    lambda pairs, flags: State({**dict(pairs), **dict(flags)}),
+    st.lists(st.tuples(var_names, small_ints), max_size=3),
+    st.lists(st.tuples(st.sampled_from(("b", "c")), st.booleans()), max_size=2),
+)

@@ -1,0 +1,103 @@
+"""Tests for CF tree analyses (repro.cftree.analysis)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cftree.analysis import (
+    expected_bits,
+    is_unbiased,
+    tree_depth,
+    tree_size,
+)
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.debias import debias
+from repro.cftree.elim import elim_choices
+from repro.cftree.tree import Choice, Fail, Fix, LOOPBACK, Leaf
+from repro.cftree.uniform import bernoulli_tree, uniform_tree
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins
+from repro.semantics.extreal import ExtReal
+
+S0 = State()
+HALF = Fraction(1, 2)
+
+
+class TestIsUnbiased:
+    def test_leaf_and_fail(self):
+        assert is_unbiased(Leaf(1))
+        assert is_unbiased(Fail())
+
+    def test_biased_choice_detected(self):
+        assert not is_unbiased(Choice(Fraction(1, 3), Leaf(1), Leaf(0)))
+
+    def test_bias_inside_fix_detected(self):
+        biased = Choice(Fraction(1, 3), Leaf(1), Leaf(LOOPBACK))
+        tree = Fix(LOOPBACK, lambda s: s is LOOPBACK, lambda s: biased, Leaf)
+        assert not is_unbiased(tree)
+
+    def test_bias_in_fix_continuation_detected(self):
+        tree = Fix(
+            0,
+            lambda s: False,
+            Leaf,
+            lambda s: Choice(Fraction(1, 3), Leaf(1), Leaf(0)),
+        )
+        assert not is_unbiased(tree)
+
+    def test_debiased_program_clean(self):
+        tree = debias(elim_choices(compile_cpgcl(dueling_coins(Fraction(4, 5)), S0)))
+        assert is_unbiased(tree, max_states=200)
+
+
+class TestExpectedBits:
+    def test_leaf_costs_nothing(self):
+        assert expected_bits(Leaf(1)) == ExtReal(0)
+
+    def test_single_choice_costs_one(self):
+        assert expected_bits(Choice(HALF, Leaf(1), Leaf(0))) == ExtReal(1)
+
+    def test_fail_ends_attempt(self):
+        tree = Choice(HALF, Leaf(1), Fail())
+        assert expected_bits(tree) == ExtReal(1)
+
+    def test_continuation_cost_added(self):
+        tree = Choice(HALF, Leaf("a"), Leaf("b"))
+        cost = expected_bits(
+            tree, continuation=lambda v: ExtReal(2 if v == "a" else 0)
+        )
+        assert cost == ExtReal(2)  # 1 flip + 1/2 * 2
+
+    def test_rejection_loop_geometric(self):
+        # bernoulli_tree(2/3), loopback mode: 2 flips per attempt,
+        # success 3/4 => 8/3 total.
+        assert expected_bits(bernoulli_tree(Fraction(2, 3))) == ExtReal(
+            Fraction(8, 3)
+        )
+
+    def test_dueling_coins_table1_values(self):
+        for p, bits in [
+            (Fraction(2, 3), Fraction(12)),
+            (Fraction(4, 5), Fraction(55, 2)),
+            (Fraction(1, 20), Fraction(2560, 19)),
+        ]:
+            tree = debias(elim_choices(compile_cpgcl(dueling_coins(p), S0)))
+            assert expected_bits(tree) == ExtReal(bits), p
+
+
+class TestStructuralStats:
+    def test_size(self):
+        tree = Choice(HALF, Leaf(1), Choice(HALF, Leaf(2), Fail()))
+        assert tree_size(tree) == 5
+
+    def test_depth(self):
+        tree = Choice(HALF, Leaf(1), Choice(HALF, Leaf(2), Fail()))
+        assert tree_depth(tree) == 3
+
+    def test_fix_counts_as_one(self):
+        assert tree_size(uniform_tree(6)) == 1
+        assert tree_depth(uniform_tree(6)) == 1
+
+    def test_power_of_two_uniform_size(self):
+        # uniform_tree(4): 3 choices + 4 leaves.
+        assert tree_size(uniform_tree(4)) == 7

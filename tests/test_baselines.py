@@ -1,0 +1,165 @@
+"""Tests for the baseline samplers (Appendix B comparators)."""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.fldr import FLDRSampler
+from repro.baselines.knuth_yao import KnuthYaoSampler
+from repro.baselines.optas import OptasSampler, optimal_dyadic_approximation
+from repro.baselines.rejection import ModuloBiasedSampler, RejectionSampler
+from repro.bits.source import CountingBits, ReplayBits, SystemBits
+from repro.stats.divergence import tv_distance
+from repro.stats.empirical import empirical_pmf
+from repro.stats.entropy import shannon_entropy
+
+
+def sample_many(sampler, n, seed=0):
+    source = CountingBits(SystemBits(seed))
+    values = [sampler.sample(source) for _ in range(n)]
+    return values, source.count / n
+
+
+class TestFLDR:
+    def test_validates_weights(self):
+        with pytest.raises(ValueError):
+            FLDRSampler([])
+        with pytest.raises(ValueError):
+            FLDRSampler([0, 0])
+        with pytest.raises(ValueError):
+            FLDRSampler([1, -1])
+
+    def test_uniform_die_distribution(self):
+        sampler = FLDRSampler([1] * 6)
+        values, _bits = sample_many(sampler, 20000)
+        tv = tv_distance(empirical_pmf(values),
+                         {i: 1 / 6 for i in range(6)})
+        assert tv < 0.02
+
+    def test_weighted_distribution(self):
+        sampler = FLDRSampler([1, 2, 3])
+        values, _bits = sample_many(sampler, 30000)
+        observed = empirical_pmf(values)
+        assert abs(observed[2] - 0.5) < 0.02
+        assert abs(observed[0] - 1 / 6) < 0.02
+
+    def test_power_of_two_total_needs_no_rejection(self):
+        sampler = FLDRSampler([1, 3])  # total 4 = 2^2
+        assert sampler.reject_index is None
+
+    def test_entropy_band(self):
+        # FLDR's guarantee: expected bits < H + 6.
+        sampler = FLDRSampler([1] * 200)
+        _values, bits = sample_many(sampler, 20000)
+        entropy = shannon_entropy({i: 1 / 200 for i in range(200)})
+        assert entropy <= bits < entropy + 6
+
+    def test_exact_pmf(self):
+        assert FLDRSampler([1, 3]).pmf() == {
+            0: Fraction(1, 4), 1: Fraction(3, 4)
+        }
+
+    def test_deterministic_on_replayed_bits(self):
+        sampler = FLDRSampler([1] * 6)
+        bits = [True, False, True, True, False, False, True, False] * 4
+        first = sampler.sample(ReplayBits(bits))
+        second = sampler.sample(ReplayBits(bits))
+        assert first == second
+
+
+class TestKnuthYao:
+    def test_requires_normalized(self):
+        with pytest.raises(ValueError):
+            KnuthYaoSampler([Fraction(1, 2)])
+
+    def test_dyadic_distribution_exact_bits(self):
+        # {1/2, 1/4, 1/4}: H = 1.5, and Knuth-Yao attains it exactly.
+        sampler = KnuthYaoSampler(
+            [Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)]
+        )
+        low, high = sampler.expected_bits()
+        assert low == high == 1.5
+
+    def test_uniform_200_expected_bits(self):
+        # Matches OPTAS's Table 4 figure of ~8.55 bits.
+        sampler = KnuthYaoSampler([Fraction(1, 200)] * 200)
+        low, _high = sampler.expected_bits()
+        assert abs(low - 8.55) < 0.01
+
+    def test_optimality_band(self):
+        probs = [Fraction(1, 3), Fraction(1, 3), Fraction(1, 3)]
+        sampler = KnuthYaoSampler(probs)
+        entropy = shannon_entropy({i: float(p) for i, p in enumerate(probs)})
+        low, _ = sampler.expected_bits()
+        assert entropy <= low < entropy + 2
+
+    def test_distribution(self):
+        sampler = KnuthYaoSampler([Fraction(2, 3), Fraction(1, 3)])
+        values, _ = sample_many(sampler, 30000)
+        counts = Counter(values)
+        assert abs(counts[0] / 30000 - 2 / 3) < 0.01
+
+
+class TestOptas:
+    def test_approximation_sums_to_one(self):
+        approx = optimal_dyadic_approximation(
+            [Fraction(1, 3)] * 3, precision=16
+        )
+        assert sum(approx) == 1
+        assert all(q.denominator <= 2**16 for q in approx)
+
+    def test_higher_precision_reduces_error(self):
+        target = [Fraction(1, 3)] * 3
+        coarse = OptasSampler(target, precision=8)
+        fine = OptasSampler(target, precision=24)
+        assert fine.approximation_error_tv() <= coarse.approximation_error_tv()
+
+    def test_dyadic_target_is_exact(self):
+        target = [Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)]
+        sampler = OptasSampler(target, precision=8)
+        assert sampler.approximation == target
+        assert sampler.approximation_error_tv() == 0
+
+    def test_kernels_accepted(self):
+        for kernel in ("hellinger", "tv", "kl"):
+            OptasSampler([Fraction(1, 3)] * 3, precision=12, kernel=kernel)
+        with pytest.raises(ValueError):
+            OptasSampler([Fraction(1, 2)] * 2, precision=12, kernel="cosine")
+
+    def test_beats_exact_samplers_on_bits(self):
+        # The Table 4 story: OPTAS trades a ~2^-32 approximation error
+        # for strictly fewer random bits than the exact pipeline's 9.
+        sampler = OptasSampler([Fraction(1, 200)] * 200, precision=32)
+        _values, bits = sample_many(sampler, 20000)
+        assert bits < 9.0
+        assert sampler.approximation_error_tv() < 1e-7
+
+
+class TestRejection:
+    def test_rejection_uniform(self):
+        sampler = RejectionSampler(6)
+        values, bits = sample_many(sampler, 20000)
+        tv = tv_distance(empirical_pmf(values), {i: 1 / 6 for i in range(6)})
+        assert tv < 0.02
+        assert abs(bits - 4.0) < 0.1  # 3 bits / (6/8) acceptance
+
+    def test_modulo_bias_exact(self):
+        sampler = ModuloBiasedSampler(6, width=3)
+        # 2^3 = 8 over 6 outcomes: outcomes 0,1 get 2/8, rest 1/8.
+        # TV = (2*|1/4 - 1/6| + 4*|1/8 - 1/6|) / 2 = 1/6.
+        assert sampler.pmf()[0] == Fraction(2, 8)
+        assert sampler.pmf()[5] == Fraction(1, 8)
+        assert sampler.bias_tv() == Fraction(1, 6)
+
+    def test_modulo_bias_shrinks_with_width(self):
+        narrow = ModuloBiasedSampler(6, width=3)
+        wide = ModuloBiasedSampler(6, width=16)
+        assert wide.bias_tv() < narrow.bias_tv()
+
+    def test_modulo_bias_detectable_empirically(self):
+        sampler = ModuloBiasedSampler(6, width=3)
+        values, _ = sample_many(sampler, 40000)
+        observed = empirical_pmf(values)
+        tv = tv_distance(observed, {i: 1 / 6 for i in range(6)})
+        assert abs(tv - float(sampler.bias_tv())) < 0.02

@@ -1,0 +1,154 @@
+"""Tests for bit sources, bitstrings, and Cantor-space measure."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.equidist import star_discrepancy, streams_to_points
+from repro.bits.measure import BasicSet, DyadicInterval, Sigma01
+from repro.bits.source import (
+    BitsExhausted,
+    ConstantBits,
+    CountingBits,
+    ReplayBits,
+    StreamBits,
+    SystemBits,
+)
+from repro.bits.streams import (
+    all_bitstrings,
+    bits_to_fraction,
+    bits_to_int,
+    int_to_bits,
+    is_prefix,
+)
+
+
+class TestSources:
+    def test_system_bits_deterministic_by_seed(self):
+        a = SystemBits(42)
+        b = SystemBits(42)
+        assert [a.next_bit() for _ in range(64)] == [
+            b.next_bit() for _ in range(64)
+        ]
+
+    def test_counting(self):
+        source = CountingBits(ConstantBits(True))
+        for _ in range(5):
+            source.next_bit()
+        assert source.count == 5
+        assert source.take_count() == 5
+        assert source.count == 0
+
+    def test_replay_and_exhaustion(self):
+        source = ReplayBits([True, False])
+        assert source.next_bit() is True
+        assert source.next_bit() is False
+        with pytest.raises(BitsExhausted):
+            source.next_bit()
+        assert source.consumed == 2
+
+    def test_stream_bits(self):
+        source = StreamBits(iter([1, 0, 1]))
+        assert [source.next_bit() for _ in range(3)] == [True, False, True]
+        with pytest.raises(BitsExhausted):
+            source.next_bit()
+
+
+class TestBitstrings:
+    def test_prefix_order(self):
+        assert is_prefix([], [True])
+        assert is_prefix([True], [True, False])
+        assert not is_prefix([True, True], [True, False])
+        assert not is_prefix([True, True], [True])
+
+    def test_bisection_encoding(self):
+        # Figure 6a: "0" -> [0, 1/2), "01" -> [1/4, 1/2), "1" -> [1/2, 1).
+        assert bits_to_fraction([False]) == 0
+        assert bits_to_fraction([True]) == Fraction(1, 2)
+        assert bits_to_fraction([False, True]) == Fraction(1, 4)
+
+    @given(st.integers(0, 255))
+    def test_int_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value, 8)) == value
+
+    def test_int_to_bits_range_checked(self):
+        with pytest.raises(ValueError):
+            int_to_bits(256, 8)
+
+    def test_all_bitstrings_in_dyadic_order(self):
+        strings = all_bitstrings(3)
+        values = [bits_to_fraction(s) for s in strings]
+        assert values == sorted(values)
+        assert len(strings) == 8
+
+
+class TestMeasure:
+    def test_basic_set_measure(self):
+        assert BasicSet([True, False, True]).measure == Fraction(1, 8)
+
+    def test_basic_set_membership(self):
+        basic = BasicSet([True, False])
+        assert basic.contains([True, False, True, True])
+        assert not basic.contains([True, True])
+
+    def test_interval_correspondence(self):
+        # mu(B(omega)) = lambda(I(omega)) -- the Section 4.1 equation.
+        for omega in all_bitstrings(4):
+            basic = BasicSet(omega)
+            interval = basic.interval()
+            assert interval.width == basic.measure
+
+    def test_dyadic_interval_contains(self):
+        interval = DyadicInterval([True])  # [1/2, 1)
+        assert interval.contains(Fraction(1, 2))
+        assert not interval.contains(Fraction(1, 4))
+        assert not interval.contains(Fraction(1))
+
+
+class TestSigma01:
+    def test_disjoint_union_measure_adds(self):
+        s = Sigma01([BasicSet([False]), BasicSet([True, False])])
+        assert s.measure == Fraction(1, 2) + Fraction(1, 4)
+
+    def test_redundant_superset_ignored(self):
+        s = Sigma01([BasicSet([False])])
+        s.add(BasicSet([False, True]))  # subset of an existing component
+        assert s.measure == Fraction(1, 2)
+        assert len(s.components) == 1
+
+    def test_absorbing_prefix_replaces_extensions(self):
+        s = Sigma01([BasicSet([False, True]), BasicSet([False, False])])
+        s.add(BasicSet([False]))
+        assert s.measure == Fraction(1, 2)
+        assert len(s.components) == 1
+
+    def test_whole_space(self):
+        s = Sigma01([BasicSet([])])
+        assert s.measure == 1
+        assert s.contains([True, False, True])
+
+    def test_intervals_sorted(self):
+        s = Sigma01([BasicSet([True]), BasicSet([False, False])])
+        intervals = s.intervals()
+        assert intervals[0].low < intervals[1].low
+
+
+class TestEquidistribution:
+    def test_star_discrepancy_of_regular_grid(self):
+        # The van der Corput-like grid {i/n + 1/2n} has discrepancy 1/2n.
+        n = 100
+        points = [(i + 0.5) / n for i in range(n)]
+        assert abs(star_discrepancy(points) - 1 / (2 * n)) < 1e-12
+
+    def test_star_discrepancy_of_constant_sequence(self):
+        assert star_discrepancy([0.5] * 10) >= 0.5
+
+    def test_uniform_bits_have_small_discrepancy(self):
+        source = SystemBits(1)
+        streams = [
+            [source.next_bit() for _ in range(16)] for _ in range(2000)
+        ]
+        d = star_discrepancy(streams_to_points(streams))
+        # 5-sigma-ish bound for n = 2000 i.i.d. uniforms.
+        assert d < 0.06

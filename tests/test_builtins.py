@@ -1,0 +1,77 @@
+"""Unit tests for builtin functions (repro.lang.builtins)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.builtins import (
+    TABLE,
+    abs_value,
+    ceil,
+    even,
+    floor,
+    is_prime,
+    max_value,
+    min_value,
+    odd,
+    square,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+        for n in range(40):
+            assert is_prime(n) == (n in primes), n
+
+    def test_negative_not_prime(self):
+        assert not is_prime(-7)
+
+    def test_larger_composite_and_prime(self):
+        assert is_prime(7919)  # the 1000th prime
+        assert not is_prime(7917)  # 3 * 7 * 13 * 29
+
+    def test_memoization_consistency(self):
+        assert is_prime(97) and is_prime(97)
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(TypeError):
+            is_prime(Fraction(1, 2))
+
+
+class TestParity:
+    def test_even_odd_partition(self):
+        for n in range(-5, 6):
+            assert even(n) != odd(n)
+
+    def test_even_zero(self):
+        assert even(0)
+
+
+class TestNumeric:
+    def test_abs(self):
+        assert abs_value(-3) == 3
+        assert abs_value(Fraction(-2, 3)) == Fraction(2, 3)
+
+    def test_floor_ceil(self):
+        assert floor(Fraction(7, 2)) == 3
+        assert ceil(Fraction(7, 2)) == 4
+        assert floor(Fraction(-7, 2)) == -4
+
+    def test_min_max(self):
+        assert min_value(2, Fraction(5, 2)) == 2
+        assert max_value(2, Fraction(5, 2)) == Fraction(5, 2)
+
+    def test_square(self):
+        assert square(Fraction(2, 3)) == Fraction(4, 9)
+        assert square(-3) == 9
+
+
+class TestTable:
+    def test_arities(self):
+        assert TABLE["is_prime"].arity == 1
+        assert TABLE["min"].arity == 2
+
+    def test_all_named_consistently(self):
+        for name, builtin in TABLE.items():
+            assert builtin.name == name

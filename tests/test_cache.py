@@ -1,0 +1,72 @@
+"""Tests for the sampler-hot-path memoization (repro.cftree.cache)."""
+
+import pytest
+
+from repro.cftree.cache import BoundedCache
+
+
+class TestBoundedCache:
+    def test_miss_returns_none(self):
+        cache = BoundedCache(4)
+        assert cache.get("absent") is None
+
+    def test_put_then_get(self):
+        cache = BoundedCache(4)
+        cache.put("k", (), "v")
+        assert cache.get("k") == "v"
+        assert len(cache) == 1
+
+    def test_put_is_first_write_wins(self):
+        cache = BoundedCache(4)
+        cache.put("k", (), "first")
+        cache.put("k", (), "second")
+        assert cache.get("k") == "first"
+
+    def test_fifo_eviction_at_capacity(self):
+        cache = BoundedCache(2)
+        cache.put("a", (), 1)
+        cache.put("b", (), 2)
+        cache.put("c", (), 3)  # evicts "a" (oldest)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_clear(self):
+        cache = BoundedCache(4)
+        cache.put("a", (), 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedCache(0)
+
+    def test_keepalive_pins_identity_keys(self):
+        # Identity-keyed entries must keep their objects alive: if the
+        # object were collected, a new allocation could reuse its id and
+        # alias the cache entry.
+        import gc
+
+        cache = BoundedCache(4)
+        obj = object()
+        key = (id(obj), "suffix")
+        cache.put(key, (obj,), "value")
+        del obj
+        gc.collect()
+        # The keepalive tuple still references the object; its id cannot
+        # have been recycled, and the entry is retrievable.
+        assert cache.get(key) == "value"
+
+    def test_compile_cache_integration(self):
+        # The compiler memoizes on (command identity, state): compiling
+        # the same command object twice returns the identical tree.
+        from repro.cftree.compile import compile_cpgcl
+        from repro.lang.state import State
+        from repro.lang.syntax import Assign
+
+        command = Assign("x", 1)
+        first = compile_cpgcl(command, State())
+        second = compile_cpgcl(command, State())
+        assert first is second

@@ -1,0 +1,77 @@
+"""Tests for the verified categorical sampler (repro.uniform.categorical)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bits.source import CountingBits, SystemBits
+from repro.cftree.semantics import twp
+from repro.semantics.extreal import ExtReal
+from repro.stats.divergence import tv_distance
+from repro.stats.empirical import empirical_pmf
+from repro.uniform.categorical import ZarCategorical, categorical_tree
+
+
+class TestCategoricalTree:
+    def test_masses_exact(self):
+        tree = categorical_tree([1, 2, 3])
+        for index, expected in [(0, Fraction(1, 6)), (1, Fraction(2, 6)),
+                                (2, Fraction(3, 6))]:
+            mass = twp(tree, lambda v, i=index: 1 if v == i else 0)
+            assert mass == ExtReal(expected)
+
+    def test_zero_weights_skipped(self):
+        tree = categorical_tree([0, 1, 0, 3])
+        assert twp(tree, lambda v: 1 if v == 0 else 0) == ExtReal(0)
+        assert twp(tree, lambda v: 1 if v == 3 else 0) == ExtReal(
+            Fraction(3, 4)
+        )
+
+    def test_single_outcome(self):
+        tree = categorical_tree([5])
+        assert twp(tree, lambda v: 1 if v == 0 else 0) == ExtReal(1)
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            categorical_tree([])
+        with pytest.raises(ValueError):
+            categorical_tree([0, 0])
+        with pytest.raises(ValueError):
+            categorical_tree([1, -1])
+
+
+class TestZarCategorical:
+    def test_construction_validates_debiased_tree(self):
+        sampler = ZarCategorical([1, 2, 3, 4], validate=True)
+        assert sampler.pmf()[3] == Fraction(4, 10)
+
+    def test_sampled_distribution(self):
+        sampler = ZarCategorical([1, 2, 3], seed=0, validate=True)
+        values = sampler.samples(12000)
+        observed = empirical_pmf(values)
+        target = {0: 1 / 6, 1: 2 / 6, 2: 3 / 6}
+        assert tv_distance(observed, target) < 0.02
+
+    def test_agrees_with_fldr_distribution(self):
+        # Same weighted die through two entirely different machines.
+        from repro.baselines.fldr import FLDRSampler
+
+        weights = [3, 1, 4, 1, 5]
+        zar = ZarCategorical(weights, seed=1, validate=True)
+        fldr = FLDRSampler(weights)
+        source = CountingBits(SystemBits(1))
+        zar_values = zar.samples(10000)
+        fldr_values = [fldr.sample(source) for _ in range(10000)]
+        assert tv_distance(
+            empirical_pmf(zar_values), empirical_pmf(fldr_values)
+        ) < 0.03
+
+    def test_uniform_special_case(self):
+        sampler = ZarCategorical([1] * 8, seed=2, validate=True)
+        values = sampler.samples(200)
+        assert set(values) <= set(range(8))
+
+    def test_bits_metered(self):
+        sampler = ZarCategorical([1, 1], seed=3, validate=True)
+        sampler.samples(10)
+        assert sampler.bits_consumed == 10  # one fair bit each

@@ -1,0 +1,138 @@
+"""Unit tests for the CF tree type, monad, and semantics (Section 3.1-3.2)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.cftree.monad import bind, fmap
+from repro.cftree.semantics import TreeConditioningError, tcwp, twlp, twp
+from repro.cftree.tree import Choice, Fail, Fix, LOOPBACK, Leaf
+from repro.semantics.extreal import ExtReal
+from tests.strategies import cf_trees
+
+
+class TestTreeType:
+    def test_choice_validates_bias(self):
+        with pytest.raises(ValueError):
+            Choice(Fraction(3, 2), Leaf(0), Leaf(1))
+
+    def test_choice_requires_trees(self):
+        with pytest.raises(TypeError):
+            Choice(Fraction(1, 2), Leaf(0), "nope")
+
+    def test_structural_equality(self):
+        a = Choice(Fraction(1, 2), Leaf(1), Fail())
+        b = Choice(Fraction(1, 2), Leaf(1), Fail())
+        assert a == b and hash(a) == hash(b)
+
+    def test_fix_identity_equality(self):
+        fix_a = Fix(0, lambda s: False, Leaf, Leaf)
+        fix_b = Fix(0, lambda s: False, Leaf, Leaf)
+        assert fix_a == fix_a
+        assert fix_a != fix_b
+
+    def test_loopback_singleton(self):
+        from repro.cftree.tree import _Loopback
+
+        assert _Loopback() is LOOPBACK
+
+
+class TestMonad:
+    def test_bind_left_identity(self):
+        # return a >>= k  ==  k a
+        k = lambda v: Choice(Fraction(1, 2), Leaf(v), Leaf(v + 1))
+        assert bind(Leaf(3), k) == k(3)
+
+    @given(cf_trees(3))
+    def test_bind_right_identity(self, tree):
+        assert bind(tree, Leaf) == tree
+
+    @given(cf_trees(2))
+    def test_bind_associativity(self, tree):
+        k1 = lambda v: Choice(Fraction(1, 3), Leaf(v), Fail())
+        k2 = lambda v: Leaf(v + 1)
+        lhs = bind(bind(tree, k1), k2)
+        rhs = bind(tree, lambda v: bind(k1(v), k2))
+        assert lhs == rhs
+
+    def test_fail_absorbs(self):
+        assert bind(Fail(), lambda v: Leaf(v)) == Fail()
+
+    def test_fmap(self):
+        tree = Choice(Fraction(1, 2), Leaf(1), Leaf(2))
+        assert fmap(tree, lambda v: v * 10) == Choice(
+            Fraction(1, 2), Leaf(10), Leaf(20)
+        )
+
+    def test_bind_defers_into_fix_continuation(self):
+        fix = Fix(0, lambda s: False, Leaf, Leaf)
+        bound = bind(fix, lambda v: Leaf(v + 1))
+        assert isinstance(bound, Fix)
+        # The continuation now maps straight into the bound function.
+        assert twp(bound, lambda v: v) == twp(fix, lambda v: v + 1)
+
+
+class TestTwp:
+    def test_leaf(self):
+        assert twp(Leaf(7), lambda v: v) == ExtReal(7)
+
+    def test_fail_flag(self):
+        assert twp(Fail(), lambda v: 1) == ExtReal(0)
+        assert twp(Fail(), lambda v: 1, flag=True) == ExtReal(1)
+
+    def test_choice_mixes(self):
+        tree = Choice(Fraction(1, 4), Leaf(1), Leaf(0))
+        assert twp(tree, lambda v: v) == ExtReal(Fraction(1, 4))
+
+    def test_degenerate_biases_shortcut(self):
+        tree = Choice(Fraction(0), Fail(), Leaf(1))
+        assert twp(tree, lambda v: v) == ExtReal(1)
+        tree = Choice(Fraction(1), Leaf(1), Fail())
+        assert twp(tree, lambda v: v) == ExtReal(1)
+
+    def test_fix_restart_loop(self):
+        # Loop: flip fair coin; loopback on tails; leaf 1 on heads.
+        flips = Choice(Fraction(1, 2), Leaf(1), Leaf(LOOPBACK))
+        tree = Fix(
+            LOOPBACK,
+            lambda s: s is LOOPBACK,
+            lambda s: flips,
+            lambda s: Leaf(s),
+        )
+        assert twp(tree, lambda v: 1 if v == 1 else 0) == ExtReal(1)
+
+    @given(cf_trees(3))
+    def test_twp_linear_in_f(self, tree):
+        f = lambda v: v
+        g = lambda v: v * v
+        combined = twp(tree, lambda v: f(v) + g(v))
+        assert combined == twp(tree, f) + twp(tree, g)
+
+    @given(cf_trees(3))
+    def test_mass_conservation(self, tree):
+        # success + failure mass = 1 for finite trees.
+        success = twp(tree, lambda v: 1)
+        with_failure = twp(tree, lambda v: 1, flag=True)
+        assert with_failure == ExtReal(1)
+        assert success <= ExtReal(1)
+
+
+class TestTwlpAndTcwp:
+    def test_twlp_counts_divergence(self):
+        diverge = Fix(0, lambda s: True, lambda s: Leaf(s), Leaf)
+        assert twp(diverge, lambda v: 1) == ExtReal(0)
+        assert twlp(diverge, lambda v: 1) == ExtReal(1)
+
+    def test_tcwp_renormalizes(self):
+        tree = Choice(Fraction(1, 2), Leaf(1), Fail())
+        assert tcwp(tree, lambda v: 1 if v == 1 else 0) == ExtReal(1)
+
+    def test_tcwp_all_fail_raises(self):
+        with pytest.raises(TreeConditioningError):
+            tcwp(Fail(), lambda v: 1)
+
+    @given(cf_trees(3))
+    def test_twlp_dominates_twp(self, tree):
+        f = lambda v: Fraction(1, 2)
+        assert twp(tree, f) <= twlp(tree, f)

@@ -1,0 +1,144 @@
+"""Compiler tests: Definition 3.5 and Theorem 3.7 (exact)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.semantics import tcwp
+from repro.cftree.tree import Choice as TChoice, Fail, Fix, Leaf
+from repro.lang.errors import ProbabilityRangeError, UniformRangeError
+from repro.lang.expr import Lit, Var
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins, flip, geometric_primes
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.semantics.cwp import ConditioningError, cwp
+from repro.semantics.expectation import indicator
+from repro.semantics.extreal import ExtReal
+from repro.semantics.fixpoint import LoopOptions
+from repro.verify.theorems import check_cf_compiler_correctness
+from tests.strategies import loop_free_command, states
+
+S0 = State()
+
+
+class TestCompileShapes:
+    """Definition 3.5, case by case (Figure 3's structure)."""
+
+    def test_skip(self):
+        assert compile_cpgcl(Skip(), S0) == Leaf(S0)
+
+    def test_assign(self):
+        tree = compile_cpgcl(Assign("x", Lit(5)), S0)
+        assert tree == Leaf(State(x=5))
+
+    def test_observe_true_false(self):
+        assert compile_cpgcl(Observe(Lit(True)), S0) == Leaf(S0)
+        assert compile_cpgcl(Observe(Lit(False)), S0) == Fail()
+
+    def test_ite_resolves_statically_per_state(self):
+        command = Ite(Var("x") < 0, Assign("y", Lit(1)), Assign("y", Lit(2)))
+        assert compile_cpgcl(command, State(x=-1)) == Leaf(State(x=-1, y=1))
+
+    def test_choice_evaluates_bias_at_state(self):
+        command = Choice(Var("p"), Skip(), Skip())
+        tree = compile_cpgcl(command, State(p=Fraction(1, 3)))
+        assert isinstance(tree, TChoice)
+        assert tree.prob == Fraction(1, 3)
+
+    def test_while_becomes_fix(self):
+        command = While(Var("b"), flip("b", Fraction(1, 2)))
+        tree = compile_cpgcl(command, State(b=True))
+        assert isinstance(tree, Fix)
+        assert tree.init == State(b=True)
+        assert tree.guard(State(b=True)) and not tree.guard(State(b=False))
+
+    def test_primes_program_shape(self):
+        # Figure 3: a Choice at the root (the first flip); both branches
+        # are the loop's Fix node (Definition 3.5 compiles `while` to Fix
+        # regardless of the guard's initial value).  The right branch has
+        # a false guard at its initial state, so it exits straight into
+        # the primality observation, which fails (h = 0 is not prime).
+        tree = compile_cpgcl(geometric_primes(Fraction(2, 3)), S0)
+        assert isinstance(tree, TChoice)
+        assert tree.prob == Fraction(2, 3)
+        assert isinstance(tree.left, Fix)
+        assert isinstance(tree.right, Fix)
+        assert tree.left.guard(tree.left.init)
+        assert not tree.right.guard(tree.right.init)
+        from repro.cftree.semantics import twp as tree_twp
+
+        assert tree_twp(tree.right, lambda s: 1) == ExtReal(0)
+
+    def test_uniform_binds_variable(self):
+        tree = compile_cpgcl(Uniform(Lit(2), "m"), S0)
+        # uniform_tree(2) has no rejection loop: a single fair choice.
+        assert tree == TChoice(
+            Fraction(1, 2), Leaf(State(m=0)), Leaf(State(m=1))
+        )
+
+    def test_side_conditions_checked(self):
+        with pytest.raises(ProbabilityRangeError):
+            compile_cpgcl(Choice(Var("p"), Skip(), Skip()), State(p=7))
+        with pytest.raises(UniformRangeError):
+            compile_cpgcl(Uniform(Var("n"), "m"), State(n=0))
+
+
+class TestTheorem37:
+    """tcwp ([[c]] sigma) f = cwp c f sigma, exactly."""
+
+    def test_flip(self):
+        check_cf_compiler_correctness(
+            flip("b", Fraction(2, 3)),
+            indicator(lambda s: s["b"] is True),
+        )
+
+    def test_conditioning(self):
+        command = Seq(
+            flip("a", Fraction(1, 2)),
+            Seq(flip("b", Fraction(1, 2)), Observe(Var("a") | Var("b"))),
+        )
+        check_cf_compiler_correctness(
+            command, indicator(lambda s: s["a"] is True)
+        )
+
+    def test_dueling_coins_exact(self):
+        check_cf_compiler_correctness(
+            dueling_coins(Fraction(2, 3)),
+            indicator(lambda s: s["a"] is True),
+        )
+
+    def test_uniform(self):
+        check_cf_compiler_correctness(
+            Uniform(Lit(6), "m"), lambda s: s["m"]
+        )
+
+    @given(loop_free_command(3), states)
+    def test_random_loop_free_programs(self, command, sigma):
+        f = indicator(lambda s: s["x"] > 0)
+        try:
+            expected = cwp(command, f, sigma)
+        except ConditioningError:
+            with pytest.raises(Exception):
+                tcwp(compile_cpgcl(command, sigma), f)
+            return
+        assert tcwp(compile_cpgcl(command, sigma), f) == expected
+
+    def test_geometric_primes_iterative(self):
+        # Infinite state space: both sides via iteration, same tolerance.
+        options = LoopOptions(strategy="iterate", tol=Fraction(1, 10**10))
+        command = geometric_primes(Fraction(1, 2))
+        f = indicator(lambda s: s["h"] == 2)
+        lhs = tcwp(compile_cpgcl(command, S0), f, options=options)
+        rhs = cwp(command, f, S0, options=options)
+        assert lhs.distance(rhs) <= ExtReal(Fraction(1, 10**6))

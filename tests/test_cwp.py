@@ -1,0 +1,96 @@
+"""Unit tests for conditional weakest pre-expectations (Definition 2.4)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.lang.expr import Lit, Var
+from repro.lang.state import State
+from repro.lang.sugar import flip, geometric_primes
+from repro.lang.syntax import Assign, Choice, Observe, Seq, Skip
+from repro.semantics.cwp import ConditioningError, cwp, invariant_sum_check
+from repro.semantics.expectation import indicator
+from repro.semantics.extreal import ExtReal
+from repro.semantics.fixpoint import LoopOptions
+from tests.strategies import loop_free_command, states
+
+S0 = State()
+
+
+class TestConditioning:
+    def test_unconditioned_program(self):
+        command = flip("b", Fraction(2, 3))
+        value = cwp(command, indicator(lambda s: s["b"] is True), S0)
+        assert value == ExtReal(Fraction(2, 3))
+
+    def test_bayes_rule(self):
+        # Flip two fair coins, observe at least one heads; P(both) = 1/3.
+        command = Seq(
+            flip("a", Fraction(1, 2)),
+            Seq(
+                flip("b", Fraction(1, 2)),
+                Observe(Var("a") | Var("b")),
+            ),
+        )
+        both = cwp(
+            command,
+            indicator(lambda s: s["a"] is True and s["b"] is True),
+            S0,
+        )
+        assert both == ExtReal(Fraction(1, 3))
+
+    def test_contradictory_observation(self):
+        command = Observe(Lit(False))
+        with pytest.raises(ConditioningError):
+            cwp(command, lambda s: 1, S0)
+
+    def test_conditioning_renormalizes(self):
+        # Posterior probabilities sum to 1 after conditioning.
+        command = Seq(
+            Choice(
+                Fraction(1, 4),
+                Assign("x", Lit(1)),
+                Choice(Fraction(1, 3), Assign("x", Lit(2)), Assign("x", Lit(3))),
+            ),
+            Observe(Var("x") < 3),
+        )
+        p1 = cwp(command, indicator(lambda s: s["x"] == 1), S0)
+        p2 = cwp(command, indicator(lambda s: s["x"] == 2), S0)
+        assert p1 + p2 == ExtReal(1)
+        assert p1 == ExtReal(Fraction(1, 2))  # 1/4 vs (3/4)(1/3) = 1/4
+
+    def test_geometric_primes_posterior_sums_to_one(self):
+        command = geometric_primes(Fraction(1, 2))
+        options = LoopOptions(tol=Fraction(1, 10**10))
+        total = cwp(
+            command, indicator(lambda s: s["h"] < 40), S0, options=options
+        )
+        assert total.distance(ExtReal(1)) <= ExtReal(Fraction(1, 10**5))
+
+
+class TestInvariantSum:
+    """Section 2.2: wp_b c f + wlp_{not b} c (1 - f) = 1."""
+
+    def test_on_observe(self):
+        total = invariant_sum_check(
+            Observe(Var("x") < 1), lambda s: Fraction(1, 2), State(x=5)
+        )
+        assert total == ExtReal(1)
+
+    def test_on_choice(self):
+        command = Choice(Fraction(1, 3), Skip(), Observe(Lit(False)))
+        total = invariant_sum_check(command, lambda s: Fraction(1, 4), S0)
+        assert total == ExtReal(1)
+
+    def test_flag_variant(self):
+        command = Choice(Fraction(1, 3), Skip(), Observe(Lit(False)))
+        total = invariant_sum_check(
+            command, lambda s: Fraction(1, 4), S0, flag=True
+        )
+        assert total == ExtReal(1)
+
+    @given(loop_free_command(2), states)
+    def test_random_loop_free(self, command, sigma):
+        total = invariant_sum_check(command, lambda s: Fraction(1, 2), sigma)
+        assert total == ExtReal(1)

@@ -1,0 +1,127 @@
+"""Tests for debias (Theorems 3.8/3.9) and elim_choices."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.cftree.analysis import is_unbiased
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.debias import debias
+from repro.cftree.elim import elim_choices
+from repro.cftree.semantics import twlp, twp
+from repro.cftree.tree import Choice, Fail, Fix, Leaf
+from repro.lang.state import State
+from repro.lang.sugar import bernoulli_exponential_0_1, dueling_coins, geometric_primes
+from repro.semantics.extreal import ExtReal
+from repro.semantics.fixpoint import LoopOptions
+from repro.verify.theorems import (
+    check_debias_sound,
+    check_debias_unbiased,
+)
+from tests.strategies import cf_trees
+
+S0 = State()
+
+
+class TestDebiasSoundness:
+    """Theorem 3.8: tcwp (debias t) f = tcwp t f, exactly."""
+
+    @given(cf_trees(3))
+    def test_random_trees(self, tree):
+        # twp-level equality is stronger than tcwp-level and avoids the
+        # all-Fail division case.
+        for f in (lambda v: v, lambda v: 1, lambda v: v * v):
+            assert twp(debias(tree), f) == twp(tree, f)
+        assert twlp(debias(tree), lambda v: 1) == twlp(tree, lambda v: 1)
+
+    @given(cf_trees(3))
+    def test_failure_mass_preserved(self, tree):
+        lhs = twp(debias(tree), lambda v: 0, flag=True)
+        rhs = twp(tree, lambda v: 0, flag=True)
+        assert lhs == rhs
+
+    def test_compiled_program(self):
+        tree = compile_cpgcl(dueling_coins(Fraction(2, 3)), S0)
+        check_debias_sound(tree, lambda s: 1 if s["a"] is True else 0)
+
+    def test_state_dependent_choices(self):
+        # bernoulli_exponential_0_1 has probability gamma/(k+1): the
+        # compiled tree contains a different bias at every loop depth.
+        tree = compile_cpgcl(
+            bernoulli_exponential_0_1("out", Fraction(1, 2)), S0
+        )
+        check_debias_sound(tree, lambda s: 1 if s["out"] is True else 0)
+
+
+class TestDebiasUnbiased:
+    """Theorem 3.9: every choice in debias t has bias 1/2."""
+
+    @given(cf_trees(3))
+    def test_random_trees(self, tree):
+        check_debias_unbiased(tree)
+
+    def test_compiled_primes(self):
+        tree = compile_cpgcl(geometric_primes(Fraction(2, 3)), S0)
+        assert not is_unbiased(tree)  # biased before debias
+        assert is_unbiased(debias(tree), max_states=60)
+
+    def test_already_fair_unchanged_semantics(self):
+        tree = Choice(Fraction(1, 2), Leaf(1), Leaf(0))
+        assert debias(tree) == tree
+
+
+class TestElimChoices:
+    def test_removes_certain_choices(self):
+        tree = Choice(Fraction(1), Leaf(1), Fail())
+        assert elim_choices(tree) == Leaf(1)
+        tree = Choice(Fraction(0), Leaf(1), Fail())
+        assert elim_choices(tree) == Fail()
+
+    def test_coalesces_equal_branches(self):
+        tree = Choice(Fraction(1, 3), Leaf(1), Leaf(1))
+        assert elim_choices(tree) == Leaf(1)
+
+    def test_recursive(self):
+        tree = Choice(
+            Fraction(1, 2),
+            Choice(Fraction(1), Leaf(1), Leaf(2)),
+            Choice(Fraction(0), Leaf(2), Leaf(1)),
+        )
+        assert elim_choices(tree) == Leaf(1)
+
+    @given(cf_trees(3))
+    def test_preserves_twp(self, tree):
+        reduced = elim_choices(tree)
+        for f in (lambda v: v, lambda v: 1):
+            assert twp(reduced, f) == twp(tree, f)
+        assert twp(reduced, lambda v: 0, flag=True) == twp(
+            tree, lambda v: 0, flag=True
+        )
+
+    def test_lazy_through_fix(self):
+        tree = compile_cpgcl(dueling_coins(Fraction(2, 3)), S0)
+        reduced = elim_choices(tree)
+        assert isinstance(reduced, Fix)
+        f = lambda s: 1 if s["a"] is True else 0
+        assert twp(reduced, f) == twp(tree, f) == ExtReal(Fraction(1, 2))
+
+
+class TestPipelineComposition:
+    def test_full_pipeline_preserves_semantics(self):
+        command = dueling_coins(Fraction(4, 5))
+        tree = compile_cpgcl(command, S0)
+        processed = debias(elim_choices(tree))
+        f = lambda s: 1 if s["a"] is True else 0
+        assert twp(processed, f) == ExtReal(Fraction(1, 2))
+        assert is_unbiased(processed, max_states=100)
+
+    def test_primes_pipeline_iterative(self):
+        command = geometric_primes(Fraction(2, 3))
+        options = LoopOptions(tol=Fraction(1, 10**10))
+        tree = compile_cpgcl(command, S0)
+        processed = debias(elim_choices(tree))
+        f = lambda s: 1 if s["h"] == 2 else 0
+        lhs = twp(processed, f, options=options)
+        rhs = twp(tree, f, options=options)
+        assert lhs.distance(rhs) <= ExtReal(Fraction(1, 10**6))

@@ -1,0 +1,121 @@
+"""End-to-end statistical validation on the paper's programs.
+
+These are the test-suite versions of the Section 5 experiments, at
+reduced sample counts with fixed seeds and 5-sigma thresholds; the
+benchmark suite runs the same programs at full scale.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.itree.unfold import cpgcl_to_itree
+from repro.lang.expr import Lit, Var
+from repro.lang.state import State
+from repro.lang.sugar import (
+    bernoulli_exponential,
+    dueling_coins,
+    gaussian,
+    geometric_primes,
+    laplace,
+    n_sided_die,
+)
+from repro.sampler.record import collect
+from repro.stats.distributions import (
+    bernoulli_exp_pmf,
+    discrete_gaussian_pmf,
+    discrete_laplace_pmf,
+    geometric_primes_pmf,
+    uniform_pmf,
+)
+from repro.stats.divergence import tv_distance
+from repro.stats.empirical import empirical_pmf
+
+S0 = State()
+N = 6000
+
+
+def sample_variable(program, variable, n=N, seed=0):
+    tree = cpgcl_to_itree(program, S0)
+    return collect(tree, n, seed=seed, extract=lambda s: s[variable])
+
+
+class TestDuelingCoins:
+    @pytest.mark.parametrize("p", [Fraction(2, 3), Fraction(4, 5)])
+    def test_posterior_fair(self, p):
+        samples = sample_variable(dueling_coins(p), "a", seed=101)
+        assert abs(samples.mean() - 0.5) < 5 * 0.5 / (N ** 0.5)
+
+    def test_entropy_orders_with_bias_skew(self):
+        mild = sample_variable(dueling_coins(Fraction(2, 3)), "a", n=1500,
+                               seed=102)
+        extreme = sample_variable(dueling_coins(Fraction(1, 20)), "a", n=600,
+                                  seed=103)
+        assert extreme.mean_bits() > 5 * mild.mean_bits()
+
+
+class TestGeometricPrimes:
+    def test_posterior_tv_small(self):
+        p = Fraction(2, 3)
+        samples = sample_variable(geometric_primes(p), "h", seed=104)
+        tv = tv_distance(empirical_pmf(samples.values),
+                         geometric_primes_pmf(p))
+        assert tv < 0.03
+
+    def test_support_is_prime(self):
+        from repro.lang.builtins import is_prime
+
+        samples = sample_variable(
+            geometric_primes(Fraction(1, 2)), "h", n=2000, seed=105
+        )
+        assert all(is_prime(h) for h in samples.values)
+
+
+class TestDie:
+    def test_distribution(self):
+        samples = sample_variable(n_sided_die(6), "x", seed=106)
+        tv = tv_distance(empirical_pmf(samples.values), uniform_pmf(6, 1))
+        assert tv < 0.03
+
+    def test_near_entropy_optimal(self):
+        samples = sample_variable(n_sided_die(6), "x", n=3000, seed=107)
+        assert abs(samples.mean_bits() - 11 / 3) < 0.15
+
+
+class TestAppendixC:
+    def test_bernoulli_exponential(self):
+        gamma = Fraction(3, 2)
+        samples = sample_variable(
+            bernoulli_exponential("out", gamma), "out", seed=108
+        )
+        true = bernoulli_exp_pmf(gamma)[True]
+        assert abs(samples.mean() - true) < 5 * 0.5 / (N ** 0.5)
+
+    def test_laplace(self):
+        samples = sample_variable(laplace("out", 2, 1), "out", n=4000,
+                                  seed=109)
+        tv = tv_distance(empirical_pmf(samples.values),
+                         discrete_laplace_pmf(2, 1))
+        assert tv < 0.04
+
+    def test_gaussian(self):
+        samples = sample_variable(gaussian("z", 0, 1), "z", n=3000, seed=110)
+        tv = tv_distance(empirical_pmf(samples.values),
+                         discrete_gaussian_pmf(0, 1))
+        assert tv < 0.05
+        assert abs(samples.mean()) < 0.12
+
+
+class TestConditionedRace:
+    def test_hare_tortoise_shifts_posterior(self):
+        from repro.lang.sugar import hare_tortoise
+
+        unconditioned = sample_variable(
+            hare_tortoise(Lit(True)), "t0", n=400, seed=111
+        )
+        long_race = sample_variable(
+            hare_tortoise(Var("time") >= 10), "t0", n=400, seed=112
+        )
+        # Longer races imply larger head starts (Figure 9b's 4.49 -> 6.18).
+        assert long_race.mean() > unconditioned.mean() + 0.7
+        assert long_race.mean_bits() > unconditioned.mean_bits()

@@ -1,0 +1,102 @@
+"""Tests for the expected-running-time transformer (repro.semantics.ert)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.expr import Lit, Var
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins, flip
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.semantics.ert import ert
+from repro.semantics.extreal import ExtReal
+from repro.semantics.fixpoint import LoopOptions
+
+S0 = State()
+
+
+class TestAtomicCosts:
+    def test_skip_costs_one(self):
+        assert ert(Skip(), sigma=S0) == ExtReal(1)
+
+    def test_assign_costs_one(self):
+        assert ert(Assign("x", Lit(5)), sigma=S0) == ExtReal(1)
+
+    def test_seq_adds(self):
+        program = Seq(Skip(), Seq(Assign("x", Lit(1)), Skip()))
+        assert ert(program, sigma=S0) == ExtReal(3)
+
+    def test_continuation_cost(self):
+        value = ert(Assign("x", Lit(2)), t=lambda s: s["x"], sigma=S0)
+        assert value == ExtReal(3)  # 1 tick + x = 2
+
+    def test_observe_failure_still_ticks(self):
+        assert ert(Observe(Lit(False)), sigma=S0) == ExtReal(1)
+
+    def test_ite_adds_guard_tick(self):
+        program = Ite(Lit(True), Skip(), Skip())
+        assert ert(program, sigma=S0) == ExtReal(2)
+
+    def test_choice_mixes(self):
+        program = Choice(Fraction(1, 3), Seq(Skip(), Skip()), Skip())
+        # 1 + (1/3) * 2 + (2/3) * 1 = 1 + 4/3.
+        assert ert(program, sigma=S0) == ExtReal(Fraction(7, 3))
+
+    def test_uniform_costs_one_plus_continuation(self):
+        program = Uniform(Lit(4), "m")
+        value = ert(program, t=lambda s: s["m"], sigma=S0)
+        assert value == ExtReal(1 + Fraction(3, 2))
+
+
+class TestLoops:
+    def test_false_guard_one_tick(self):
+        assert ert(While(Lit(False), Skip()), sigma=S0) == ExtReal(1)
+
+    def test_counted_loop(self):
+        # while x < 3 {x := x+1}: 3 iterations * (guard + body) + exit.
+        program = While(Var("x") < 3, Assign("x", Var("x") + 1))
+        assert ert(program, sigma=S0) == ExtReal(7)
+
+    def test_geometric_loop_exact(self):
+        # b := true; while b { flip b 1/2 }.
+        program = Seq(
+            Assign("b", Lit(True)),
+            While(Var("b"), flip("b", Fraction(1, 2))),
+        )
+        # X = 1 + (1 + 1 + X/2 + exit/2) with exit = 1: X = 7; +1 assign.
+        assert ert(program, sigma=S0) == ExtReal(8)
+
+    def test_divergent_loop_infinite(self):
+        assert ert(While(Lit(True), Skip()), sigma=S0).is_infinite
+
+    def test_dueling_coins_finite(self):
+        value = ert(dueling_coins(Fraction(2, 3)), sigma=S0)
+        assert value == ExtReal(Fraction(57, 4))
+
+    def test_iterative_matches_exact(self):
+        program = dueling_coins(Fraction(2, 3))
+        exact = ert(program, sigma=S0, options=LoopOptions(strategy="exact"))
+        iterated = ert(
+            program, sigma=S0,
+            options=LoopOptions(strategy="iterate", tol=Fraction(1, 10**10)),
+        )
+        assert iterated.distance(exact) <= ExtReal(Fraction(1, 10**6))
+
+    def test_ert_dominates_termination_time(self):
+        # ert >= wp-style termination probability scaled (sanity order).
+        program = Seq(
+            Assign("b", Lit(True)),
+            While(Var("b"), flip("b", Fraction(1, 20))),
+        )
+        # Nearly always exits after one iteration: cost close to 1+1+2+1.
+        value = ert(program, sigma=S0)
+        assert ExtReal(5) <= value <= ExtReal(6)

@@ -1,0 +1,153 @@
+"""Unit tests for the expression AST (repro.lang.expr)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.lang.errors import EvalError
+from repro.lang.expr import BinOp, Call, Lit, Opaque, UnOp, Var, to_expr
+from repro.lang.state import State
+from tests.strategies import bool_expr, numeric_expr, states
+
+
+class TestLiteralsAndVars:
+    def test_literal_eval(self):
+        assert Lit(5).eval(State()) == 5
+        assert Lit(True).eval(State()) is True
+
+    def test_var_reads_state(self):
+        assert Var("x").eval(State(x=7)) == 7
+
+    def test_var_default_zero(self):
+        assert Var("x").eval(State()) == 0
+
+    def test_to_expr_lifts_constants(self):
+        assert to_expr(3) == Lit(3)
+        assert to_expr(Fraction(1, 2)) == Lit(Fraction(1, 2))
+
+    def test_to_expr_passthrough(self):
+        e = Var("x")
+        assert to_expr(e) is e
+
+
+class TestArithmetic:
+    def test_operators_build_ast(self):
+        e = Var("x") + 1
+        assert e == BinOp("+", Var("x"), Lit(1))
+
+    def test_add_sub_mul(self):
+        s = State(x=3)
+        assert (Var("x") + 4).eval(s) == 7
+        assert (Var("x") - 5).eval(s) == -2
+        assert (Var("x") * Var("x")).eval(s) == 9
+
+    def test_exact_division(self):
+        assert (Lit(2) / 3).eval(State()) == Fraction(2, 3)
+
+    def test_floor_division(self):
+        assert (Lit(7) // 2).eval(State()) == 3
+        assert (Lit(-7) // 2).eval(State()) == -4
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvalError):
+            (Lit(1) / 0).eval(State())
+
+    def test_modulo(self):
+        assert (Lit(7) % 3).eval(State()) == 1
+
+    def test_negation(self):
+        assert (-Var("x")).eval(State(x=5)) == -5
+
+
+class TestBooleans:
+    def test_short_circuit_and(self):
+        # The right operand would raise a type error if evaluated.
+        e = BinOp("and", Lit(False), BinOp("and", Lit(3), Lit(4)))
+        assert e.eval(State()) is False
+
+    def test_short_circuit_or(self):
+        e = BinOp("or", Lit(True), BinOp("and", Lit(3), Lit(4)))
+        assert e.eval(State()) is True
+
+    def test_not(self):
+        assert (~Lit(True)).eval(State()) is False
+
+    def test_comparisons(self):
+        s = State(x=2)
+        assert (Var("x") < 3).eval(s) is True
+        assert (Var("x") >= 3).eval(s) is False
+        assert Var("x").eq(2).eval(s) is True
+        assert Var("x").ne(2).eval(s) is False
+
+    def test_equality_bool_vs_int(self):
+        assert Lit(True).eq(Lit(1)).eval(State()) is False
+
+    def test_no_python_truth_value(self):
+        with pytest.raises(TypeError):
+            bool(Var("x"))
+
+
+class TestStructural:
+    def test_free_vars(self):
+        e = (Var("x") + Var("y")) * Lit(2)
+        assert e.free_vars() == {"x", "y"}
+
+    def test_subst(self):
+        e = Var("x") + Var("y")
+        result = e.subst("x", Lit(10))
+        assert result.eval(State(y=1)) == 11
+
+    def test_subst_assignment_semantics(self):
+        # wp(x := e, f) = f[x/e]: substitution then evaluation agrees
+        # with evaluation in the updated state.
+        e = Var("x") * Var("x") + Var("y")
+        sigma = State(x=2, y=3)
+        update = Var("y") + 1
+        lhs = e.subst("x", update).eval(sigma)
+        rhs = e.eval(sigma.set("x", update.eval(sigma)))
+        assert lhs == rhs
+
+    def test_hash_consistency(self):
+        assert hash(Var("x") + 1) == hash(BinOp("+", Var("x"), Lit(1)))
+
+    @given(numeric_expr(2), states)
+    def test_numeric_exprs_evaluate(self, expr, sigma):
+        value = expr.eval(sigma)
+        assert isinstance(value, (int, Fraction))
+        assert not isinstance(value, bool)
+
+    @given(bool_expr(2), states)
+    def test_bool_exprs_evaluate(self, expr, sigma):
+        assert isinstance(expr.eval(sigma), bool)
+
+    @given(numeric_expr(2), states)
+    def test_subst_commutes_with_eval(self, expr, sigma):
+        replaced = expr.subst("x", Lit(4))
+        assert replaced.eval(sigma) == expr.eval(sigma.set("x", 4))
+
+
+class TestOpaque:
+    def test_eval(self):
+        e = Opaque(lambda s: s.get("x") * 2, label="double")
+        assert e.eval(State(x=21)) == 42
+
+    def test_rejects_non_value_result(self):
+        e = Opaque(lambda s: "boom")
+        with pytest.raises(EvalError):
+            e.eval(State())
+
+    def test_subst_unsupported(self):
+        e = Opaque(lambda s: 0)
+        with pytest.raises(EvalError):
+            e.subst("x", Lit(1))
+
+
+class TestCall:
+    def test_unknown_builtin(self):
+        with pytest.raises(ValueError):
+            Call("frobnicate", [])
+
+    def test_wrong_arity(self):
+        with pytest.raises(ValueError):
+            Call("is_prime", [Lit(1), Lit(2)])

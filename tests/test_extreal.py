@@ -1,0 +1,100 @@
+"""Unit tests for extended nonnegative rationals (repro.semantics.extreal)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.semantics.extreal import INFINITY, ExtReal
+
+
+class TestConstruction:
+    def test_from_int_and_fraction(self):
+        assert ExtReal(3) == Fraction(3)
+        assert ExtReal(Fraction(1, 2)) == Fraction(1, 2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ExtReal(-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            ExtReal(True)
+
+    def test_of_passthrough(self):
+        x = ExtReal(5)
+        assert ExtReal.of(x) is x
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert ExtReal(Fraction(1, 3)) + ExtReal(Fraction(1, 6)) == Fraction(1, 2)
+
+    def test_addition_with_infinity(self):
+        assert (ExtReal(1) + INFINITY).is_infinite
+        assert (INFINITY + INFINITY).is_infinite
+
+    def test_multiplication(self):
+        assert ExtReal(Fraction(2, 3)) * ExtReal(Fraction(3, 4)) == Fraction(1, 2)
+
+    def test_zero_times_infinity_is_zero(self):
+        # The measure-theoretic convention the wp rules rely on.
+        assert ExtReal(0) * INFINITY == ExtReal(0)
+        assert INFINITY * ExtReal(0) == ExtReal(0)
+
+    def test_scale(self):
+        assert ExtReal(Fraction(1, 2)).scale(Fraction(2, 3)) == Fraction(1, 3)
+        assert INFINITY.scale(Fraction(0)) == ExtReal(0)
+        assert INFINITY.scale(Fraction(1, 2)).is_infinite
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ExtReal(1).scale(Fraction(-1))
+
+    def test_division(self):
+        assert ExtReal(1) / ExtReal(Fraction(1, 3)) == Fraction(3)
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            ExtReal(1) / ExtReal(0)
+
+    def test_infinity_division(self):
+        assert (INFINITY / ExtReal(2)).is_infinite
+        assert ExtReal(2) / INFINITY == ExtReal(0)
+        with pytest.raises(ArithmeticError):
+            INFINITY / INFINITY
+
+    def test_subtraction(self):
+        assert ExtReal(1) - ExtReal(Fraction(1, 4)) == Fraction(3, 4)
+
+    def test_subtraction_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ExtReal(0) - ExtReal(1)
+
+
+class TestOrder:
+    def test_total_order_on_finite(self):
+        assert ExtReal(1) < ExtReal(2) <= ExtReal(2)
+
+    def test_infinity_is_top(self):
+        assert ExtReal(10**12) < INFINITY
+        assert INFINITY <= INFINITY
+
+    def test_distance(self):
+        assert ExtReal(3).distance(ExtReal(1)) == ExtReal(2)
+        assert INFINITY.distance(INFINITY) == ExtReal(0)
+        assert INFINITY.distance(ExtReal(1)).is_infinite
+
+    def test_comparison_with_numbers(self):
+        assert ExtReal(Fraction(1, 2)) == Fraction(1, 2)
+        assert ExtReal(2) == 2
+        assert not ExtReal(2) == True  # noqa: E712 -- bool is not a value
+
+
+class TestConversion:
+    def test_float(self):
+        assert float(ExtReal(Fraction(1, 4))) == 0.25
+        assert float(INFINITY) == float("inf")
+
+    def test_as_fraction_raises_on_infinity(self):
+        with pytest.raises(OverflowError):
+            INFINITY.as_fraction()

@@ -1,0 +1,113 @@
+"""Failure-injection tests: every layer fails loudly, not wrongly."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bits.source import BitsExhausted, ConstantBits, ReplayBits
+from repro.cftree.compile import compile_cpgcl
+from repro.itree.unfold import cpgcl_to_itree
+from repro.lang.errors import ProbabilityRangeError, UniformRangeError
+from repro.lang.expr import Lit, Opaque, Var
+from repro.lang.state import State
+from repro.lang.sugar import flip, geometric_primes
+from repro.lang.syntax import Assign, Choice, Observe, Seq, Uniform, While
+from repro.sampler.run import FuelExhausted, run_itree
+from repro.semantics.cwp import ConditioningError, cwp
+from repro.semantics.fixpoint import ConvergenceError, LoopOptions
+from repro.semantics.wp import wp
+
+S0 = State()
+
+
+class TestBitExhaustion:
+    def test_sampler_surfaces_exhaustion(self):
+        tree = cpgcl_to_itree(geometric_primes(Fraction(1, 2)), S0)
+        with pytest.raises(BitsExhausted):
+            # One bit cannot finish an attempt that needs at least two.
+            run_itree(tree, ReplayBits([True]))
+
+    def test_partial_replay_reports_consumption(self):
+        source = ReplayBits([True, False, True])
+        tree = cpgcl_to_itree(flip("b", Fraction(1, 2)), S0)
+        run_itree(tree, source)
+        assert source.consumed == 1
+        assert source.remaining == 2
+
+
+class TestFuel:
+    def test_adversarial_stream_diverges_gracefully(self):
+        # The all-heads stream keeps the primes loop alive forever:
+        # divergence has probability 0 but is expressible, and the fuel
+        # bound must catch it rather than hang.
+        tree = cpgcl_to_itree(geometric_primes(Fraction(1, 2)), S0)
+        with pytest.raises(FuelExhausted):
+            run_itree(tree, ConstantBits(True), fuel=10000)
+
+
+class TestDynamicSideConditions:
+    def test_runtime_probability_violation(self):
+        command = Choice(Var("p"), Assign("x", Lit(1)), Assign("x", Lit(0)))
+        bad_state = State(p=Fraction(7, 2))
+        with pytest.raises(ProbabilityRangeError):
+            compile_cpgcl(command, bad_state)
+        with pytest.raises(ProbabilityRangeError):
+            wp(command, lambda s: 1, bad_state)
+
+    def test_runtime_uniform_violation(self):
+        command = Uniform(Var("n"), "m")
+        with pytest.raises(UniformRangeError):
+            compile_cpgcl(command, State(n=-3))
+
+    def test_state_dependent_violation_mid_loop(self):
+        # The probability expression leaves [0, 1] only at k = 2: the
+        # error must surface during loop evaluation, not construction.
+        command = Seq(
+            Assign("k", Lit(0)),
+            While(
+                Var("k") < 3,
+                Choice(
+                    Var("k") * Var("k") / 2,  # 0, 1/2, 2 <- violation
+                    Assign("k", Var("k") + 1),
+                    Assign("k", Var("k") + 1),
+                ),
+            ),
+        )
+        with pytest.raises(ProbabilityRangeError):
+            wp(command, lambda s: 1, S0)
+
+
+class TestConditioning:
+    def test_contradictory_observation(self):
+        command = Seq(Assign("x", Lit(1)), Observe(Var("x") < 0))
+        with pytest.raises(ConditioningError):
+            cwp(command, lambda s: 1, S0)
+
+    def test_contradictory_sampler_spins(self):
+        command = Observe(Lit(False))
+        tree = cpgcl_to_itree(command, S0)
+        with pytest.raises(FuelExhausted):
+            run_itree(tree, ConstantBits(True), fuel=1000)
+
+
+class TestConvergenceBudget:
+    def test_non_as_terminating_loop_iterate(self):
+        # while true do skip has no finite iteration certificate; with
+        # the exact strategy it solves instantly, but iterate must give
+        # up explicitly rather than loop forever.
+        command = While(Lit(True), Assign("x", Var("x") + 1))
+        with pytest.raises(ConvergenceError):
+            wp(
+                command, lambda s: 1, S0,
+                options=LoopOptions(strategy="iterate", max_rounds=100),
+            )
+
+
+class TestOpaqueEscapeHatch:
+    def test_opaque_type_error_surfaces(self):
+        bad = Opaque(lambda s: "zap", label="bad")
+        command = Assign("x", bad)
+        from repro.lang.errors import EvalError
+
+        with pytest.raises(EvalError):
+            compile_cpgcl(command, S0)

@@ -1,0 +1,183 @@
+"""Unit tests for the loop-fixpoint engine (repro.semantics.fixpoint).
+
+The engine is exercised here through hand-built step functions (Markov
+chains), independent of the wp/twp evaluators layered on top.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.semantics.algebra import EXT_REAL
+from repro.semantics.extreal import ExtReal
+from repro.semantics.fixpoint import (
+    ConvergenceError,
+    LoopOptions,
+    StateSpaceExceeded,
+    solve_exact,
+    solve_iterate,
+    solve_loop,
+)
+
+
+def geometric_chain(p_continue: Fraction):
+    """State 0 loops with probability p, exits to reward 1 otherwise."""
+
+    def guard(s):
+        return s == 0
+
+    def step(s, h, alg):
+        stay = alg.scale(p_continue, h(0))
+        leave = alg.scale(1 - p_continue, h(1))
+        return alg.add(stay, leave)
+
+    def exit_value(_s):
+        return ExtReal(1)
+
+    return guard, step, exit_value
+
+
+class TestExact:
+    def test_geometric_chain_probability_one(self):
+        guard, step, exit_value = geometric_chain(Fraction(1, 3))
+        value = solve_exact(0, guard, step, exit_value, EXT_REAL, False)
+        assert value == ExtReal(1)  # terminates almost surely
+
+    def test_counting_chain(self):
+        # States 0..3, each advances deterministically; reward at exit.
+        def guard(s):
+            return s < 3
+
+        def step(s, h, alg):
+            return h(s + 1)
+
+        value = solve_exact(
+            0, guard, step, lambda s: ExtReal(s), EXT_REAL, False
+        )
+        assert value == ExtReal(3)
+
+    def test_state_space_cap(self):
+        def guard(s):
+            return True  # unbounded chain
+
+        def step(s, h, alg):
+            return h(s + 1)
+
+        with pytest.raises(StateSpaceExceeded):
+            solve_exact(
+                0,
+                guard,
+                step,
+                lambda s: ExtReal(0),
+                EXT_REAL,
+                False,
+                LoopOptions(max_states=100),
+            )
+
+    def test_divergent_least_and_greatest(self):
+        def guard(s):
+            return True
+
+        def step(s, h, alg):
+            return h(s)
+
+        least = solve_exact(0, guard, step, lambda s: ExtReal(1), EXT_REAL, False)
+        greatest = solve_exact(0, guard, step, lambda s: ExtReal(1), EXT_REAL, True)
+        assert least == ExtReal(0)
+        assert greatest == ExtReal(1)
+
+
+class TestIterate:
+    def test_geometric_chain_converges(self):
+        guard, step, exit_value = geometric_chain(Fraction(1, 2))
+        value = solve_iterate(
+            0, guard, step, exit_value, EXT_REAL, False,
+            LoopOptions(tol=Fraction(1, 10**9)),
+        )
+        assert value.distance(ExtReal(1)) <= ExtReal(Fraction(1, 10**8))
+
+    def test_long_deterministic_chain_not_truncated(self):
+        # The value at the entry state stays 0 for 50 rounds and then
+        # jumps to 1: premature "stability" must not end the iteration
+        # (this is what the residual-mass criterion prevents).
+        def guard(s):
+            return s < 50
+
+        def step(s, h, alg):
+            return h(s + 1)
+
+        value = solve_iterate(
+            0, guard, step, lambda s: ExtReal(1), EXT_REAL, False
+        )
+        assert value == ExtReal(1)
+
+    def test_divergent_loop_raises(self):
+        def guard(s):
+            return True
+
+        def step(s, h, alg):
+            return h(s)
+
+        with pytest.raises(ConvergenceError):
+            solve_iterate(
+                0, guard, step, lambda s: ExtReal(1), EXT_REAL, False,
+                LoopOptions(max_rounds=200),
+            )
+
+
+class TestSolveLoopDispatch:
+    def test_guard_false_returns_exit(self):
+        value = solve_loop(
+            5,
+            guard=lambda s: False,
+            step=None,
+            exit_value=lambda s: ExtReal(s),
+            algebra=EXT_REAL,
+            greatest=False,
+        )
+        assert value == ExtReal(5)
+
+    def test_auto_falls_back_to_iteration(self):
+        # Unbounded state space: exact raises, auto must fall back.
+        def guard(s):
+            return s >= 0
+
+        def step(s, h, alg):
+            # Move up with probability 1/2, exit otherwise.
+            return alg.add(
+                alg.scale(Fraction(1, 2), h(s + 1)),
+                alg.scale(Fraction(1, 2), h(-1)),
+            )
+
+        value = solve_loop(
+            0,
+            guard=guard,
+            step=step,
+            exit_value=lambda s: ExtReal(1),
+            algebra=EXT_REAL,
+            greatest=False,
+            options=LoopOptions(max_states=10),
+        )
+        assert value.distance(ExtReal(1)) <= ExtReal(Fraction(1, 10**10))
+
+    def test_exact_strategy_propagates_cap(self):
+        def guard(s):
+            return s >= 0
+
+        def step(s, h, alg):
+            return h(s + 1)
+
+        with pytest.raises(StateSpaceExceeded):
+            solve_loop(
+                0,
+                guard=guard,
+                step=step,
+                exit_value=lambda s: ExtReal(0),
+                algebra=EXT_REAL,
+                greatest=False,
+                options=LoopOptions(strategy="exact", max_states=10),
+            )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            LoopOptions(strategy="guess")

@@ -1,0 +1,73 @@
+"""Tests for the Han-Hoshi interval sampler (repro.baselines.han_hoshi)."""
+
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.han_hoshi import HanHoshiSampler
+from repro.baselines.knuth_yao import KnuthYaoSampler
+from repro.bits.source import CountingBits, ReplayBits, SystemBits
+from repro.stats.divergence import tv_distance
+from repro.stats.empirical import empirical_pmf
+from repro.stats.entropy import shannon_entropy
+
+
+class TestConstruction:
+    def test_requires_normalized(self):
+        with pytest.raises(ValueError):
+            HanHoshiSampler([Fraction(1, 2), Fraction(1, 3)])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            HanHoshiSampler([Fraction(3, 2), Fraction(-1, 2)])
+
+
+class TestSampling:
+    def test_dyadic_distribution(self):
+        sampler = HanHoshiSampler(
+            [Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)]
+        )
+        # "0" -> [0, 1/2) -> outcome 0 after one bit.
+        assert sampler.sample(ReplayBits([False])) == 0
+        # "11" -> [3/4, 1) -> outcome 2 after two bits.
+        assert sampler.sample(ReplayBits([True, True])) == 2
+
+    def test_distribution_uniform_200(self):
+        sampler = HanHoshiSampler([Fraction(1, 200)] * 200)
+        source = SystemBits(3)
+        values = [sampler.sample(source) for _ in range(20000)]
+        tv = tv_distance(empirical_pmf(values),
+                         {i: 1 / 200 for i in range(200)})
+        assert tv < 0.03
+
+    def test_non_dyadic_bias(self):
+        sampler = HanHoshiSampler([Fraction(1, 3), Fraction(2, 3)])
+        source = SystemBits(4)
+        counts = Counter(sampler.sample(source) for _ in range(30000))
+        assert abs(counts[1] / 30000 - 2 / 3) < 0.01
+
+
+class TestEntropy:
+    def test_within_h_plus_3(self):
+        probs = [Fraction(1, 200)] * 200
+        sampler = HanHoshiSampler(probs)
+        entropy = shannon_entropy({i: float(p) for i, p in enumerate(probs)})
+        expected = sampler.expected_bits()
+        assert entropy <= expected < entropy + 3
+
+    def test_empirical_matches_expected(self):
+        probs = [Fraction(1, 3), Fraction(1, 3), Fraction(1, 3)]
+        sampler = HanHoshiSampler(probs)
+        source = CountingBits(SystemBits(5))
+        n = 20000
+        for _ in range(n):
+            sampler.sample(source)
+        assert abs(source.count / n - sampler.expected_bits()) < 0.1
+
+    def test_ordering_vs_knuth_yao(self):
+        # Knuth-Yao is optimal: Han-Hoshi can only match or exceed it.
+        probs = [Fraction(5, 16), Fraction(3, 16), Fraction(1, 2)]
+        hh = HanHoshiSampler(probs).expected_bits()
+        ky_low, ky_high = KnuthYaoSampler(probs).expected_bits()
+        assert hh >= ky_low - 1e-9

@@ -1,0 +1,408 @@
+"""Tests for exact inference with interval bounds (repro.inference)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.tree import Choice as TChoice, Fail, Leaf
+from repro.cftree.uniform import bernoulli_tree, uniform_tree
+from repro.inference import (
+    Interval,
+    MassAccount,
+    Posterior,
+    divide_bounds,
+    enumerate_paths,
+    infer_posterior,
+    infer_query,
+    refine_until,
+    unfold_fix_once,
+)
+from repro.lang.expr import Var
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins, geometric_primes, n_sided_die
+from repro.lang.syntax import Assign, Choice, Observe, Seq, Skip
+from repro.semantics.cwp import cwp
+from repro.stats.distributions import geometric_primes_pmf
+from tests.strategies import loop_free_command
+
+HALF = Fraction(1, 2)
+THIRD = Fraction(1, 3)
+
+
+# -- Interval ---------------------------------------------------------------
+
+
+class TestInterval:
+    def test_point_has_zero_width(self):
+        assert Interval.point(THIRD).width == 0
+        assert Interval.point(THIRD).is_point()
+
+    def test_rejects_inverted_endpoints(self):
+        with pytest.raises(ValueError):
+            Interval(1, 0)
+
+    def test_contains_endpoints(self):
+        box = Interval(Fraction(1, 4), Fraction(3, 4))
+        assert box.contains(Fraction(1, 4))
+        assert box.contains(Fraction(3, 4))
+        assert not box.contains(Fraction(4, 5))
+
+    def test_add_and_scale(self):
+        a = Interval(Fraction(1, 4), Fraction(1, 2))
+        b = Interval(Fraction(1, 8), Fraction(1, 8))
+        assert (a + b) == Interval(Fraction(3, 8), Fraction(5, 8))
+        assert a.scale(2) == Interval(HALF, 1)
+
+    def test_scale_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval.point(1).scale(-1)
+
+    def test_midpoint(self):
+        assert Interval(0, 1).midpoint == HALF
+
+    def test_intersects(self):
+        assert Interval(0, HALF).intersects(Interval(HALF, 1))
+        assert not Interval(0, THIRD).intersects(Interval(HALF, 1))
+
+    def test_clamp(self):
+        assert Interval(Fraction(-1), Fraction(2)).clamp() == Interval(0, 1)
+
+    def test_divide_bounds_monotonicity(self):
+        n = Interval(Fraction(1, 4), Fraction(1, 2))
+        d = Interval(Fraction(1, 2), Fraction(1))
+        out = divide_bounds(n, d)
+        assert out == Interval(Fraction(1, 4), Fraction(1))
+
+    def test_divide_bounds_zero_denominator_lo(self):
+        out = divide_bounds(Interval(0, HALF), Interval(0, HALF))
+        assert out == Interval(0, 1)
+
+    def test_divide_bounds_zero_denominator_hi(self):
+        with pytest.raises(ZeroDivisionError):
+            divide_bounds(Interval.point(0), Interval.point(0))
+
+
+# -- MassAccount ------------------------------------------------------------
+
+
+class TestMassAccount:
+    def test_initially_all_unresolved(self):
+        account = MassAccount()
+        assert account.unresolved == 1
+        assert account.settled_mass() == 0
+        assert account.check_conservation()
+
+    def test_settle_conserves_mass(self):
+        account = MassAccount()
+        account.settle_leaf("a", HALF)
+        account.settle_fail(Fraction(1, 4))
+        assert account.unresolved == Fraction(1, 4)
+        assert account.check_conservation()
+
+    def test_cannot_overdraw(self):
+        account = MassAccount()
+        account.settle_leaf("a", Fraction(3, 4))
+        with pytest.raises(ValueError):
+            account.settle_fail(HALF)
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(ValueError):
+            MassAccount().settle_leaf("a", Fraction(-1, 2))
+
+    def test_unconditional_bounds_include_slack(self):
+        account = MassAccount()
+        account.settle_leaf("a", HALF)
+        assert account.unconditional_bounds("a") == Interval(
+            HALF, Fraction(3, 4) + Fraction(1, 4)
+        )
+        assert account.unconditional_bounds("unseen") == Interval(0, HALF)
+
+    def test_posterior_bounds_exact_when_fully_settled(self):
+        account = MassAccount()
+        account.settle_leaf("a", HALF)
+        account.settle_leaf("b", Fraction(1, 4))
+        account.settle_fail(Fraction(1, 4))
+        assert account.posterior_bounds("a") == Interval.point(
+            Fraction(2, 3)
+        )
+        assert account.posterior_bounds("b") == Interval.point(THIRD)
+
+    def test_posterior_undefined_when_everything_fails(self):
+        account = MassAccount()
+        account.settle_fail(Fraction(1))
+        with pytest.raises(ZeroDivisionError):
+            account.posterior_bounds("a")
+
+    def test_support_ordered_by_mass(self):
+        account = MassAccount()
+        account.settle_leaf("light", Fraction(1, 8))
+        account.settle_leaf("heavy", HALF)
+        assert account.support() == ("heavy", "light")
+
+
+# -- path enumeration on hand-built trees ------------------------------------
+
+
+class TestEnumeratePaths:
+    def test_single_leaf_is_exact(self):
+        account = enumerate_paths(Leaf("x"))
+        assert account.terminal == {"x": Fraction(1)}
+        assert account.unresolved == 0
+
+    def test_fail_tree(self):
+        account = enumerate_paths(Fail())
+        assert account.fail == 1
+        assert account.unresolved == 0
+
+    def test_finite_choice_tree_exact(self):
+        tree = TChoice(THIRD, Leaf("l"), TChoice(HALF, Leaf("m"), Fail()))
+        account = enumerate_paths(tree)
+        assert account.terminal["l"] == THIRD
+        assert account.terminal["m"] == THIRD
+        assert account.fail == THIRD
+        assert account.check_conservation()
+
+    def test_degenerate_choice_skips_zero_branch(self):
+        tree = TChoice(Fraction(1), Leaf("always"), Fail())
+        account = enumerate_paths(tree)
+        assert account.terminal == {"always": Fraction(1)}
+        assert account.fail == 0
+
+    def test_bernoulli_tree_bounds_bracket_bias(self):
+        account = enumerate_paths(
+            bernoulli_tree(Fraction(2, 3)), mass_tol=Fraction(1, 2**20)
+        )
+        bounds = account.unconditional_bounds(True)
+        assert bounds.contains(Fraction(2, 3))
+        assert bounds.width <= Fraction(1, 2**19)
+
+    def test_uniform_tree_bounds_bracket_each_outcome(self):
+        account = enumerate_paths(
+            uniform_tree(6), mass_tol=Fraction(1, 2**24)
+        )
+        for outcome in range(6):
+            assert account.unconditional_bounds(outcome).contains(
+                Fraction(1, 6)
+            )
+
+    def test_expansion_budget_respected(self):
+        account = enumerate_paths(uniform_tree(6), max_expansions=3)
+        assert account.expansions <= 3
+        assert account.check_conservation()
+
+    def test_zero_budget_returns_trivial_bounds(self):
+        account = enumerate_paths(uniform_tree(6), max_expansions=0)
+        assert account.unresolved == 1
+        assert account.unconditional_bounds(0) == Interval(0, 1)
+
+    def test_rejects_negative_budget_and_tolerance(self):
+        with pytest.raises(ValueError):
+            enumerate_paths(Leaf(1), max_expansions=-1)
+        with pytest.raises(ValueError):
+            enumerate_paths(Leaf(1), mass_tol=Fraction(-1, 2))
+
+    def test_unfold_fix_once_requires_fix(self):
+        with pytest.raises(TypeError):
+            unfold_fix_once(Leaf(1))
+
+    def test_unfold_fix_exit_takes_continuation(self):
+        from repro.cftree.tree import Fix
+
+        tree = Fix(7, lambda s: False, Leaf, lambda s: Leaf(s * 2))
+        assert unfold_fix_once(tree) == Leaf(14)
+
+    def test_fix_merging_matches_unmerged_account(self):
+        # Merging only reroutes mass between identical subtrees: run
+        # both modes to completion-level tolerance and compare bounds.
+        tree = compile_cpgcl(dueling_coins(Fraction(2, 3)), State())
+        merged = enumerate_paths(
+            tree, max_expansions=5_000, mass_tol=Fraction(1, 2**60)
+        )
+        plain = enumerate_paths(
+            tree,
+            max_expansions=200_000,
+            mass_tol=Fraction(1, 2**20),
+            merge_fixes=False,
+        )
+        assert merged.check_conservation()
+        assert plain.check_conservation()
+        for state, mass in merged.terminal.items():
+            # Both accounts bracket the same true mass.
+            assert plain.unconditional_bounds(state).intersects(
+                merged.unconditional_bounds(state)
+            )
+
+    def test_fix_merging_geometric_decay_on_iid_loop(self):
+        tree = compile_cpgcl(dueling_coins(Fraction(2, 3)), State())
+        merged = enumerate_paths(tree, max_expansions=2_000)
+        plain = enumerate_paths(
+            tree, max_expansions=2_000, merge_fixes=False
+        )
+        # Same budget: merging is at least a dozen orders of magnitude
+        # tighter on a state-recurring loop.
+        assert merged.unresolved < Fraction(1, 10**12)
+        assert plain.unresolved > Fraction(1, 10**6)
+
+
+# -- conservation under arbitrary budgets (property) --------------------------
+
+
+@given(
+    budget=st.integers(min_value=0, max_value=200),
+    n=st.integers(min_value=1, max_value=12),
+)
+def test_conservation_invariant_any_budget(budget, n):
+    account = enumerate_paths(uniform_tree(n), max_expansions=budget)
+    assert account.check_conservation()
+    total_lo = sum(account.terminal.values(), Fraction(0))
+    assert total_lo + account.fail + account.unresolved == 1
+
+
+@settings(max_examples=30)
+@given(program=loop_free_command())
+def test_loop_free_enumeration_brackets_cwp(program):
+    """On loop-free programs the enumerated posterior bounds must contain
+    the exact cwp posterior of every discovered terminal state.  (The
+    bounds are points unless the program draws from a non-power-of-two
+    ``uniform``, whose rejection loop leaves geometric slack.)"""
+    sigma = State()
+    tree = compile_cpgcl(program, sigma)
+    account = enumerate_paths(
+        tree, max_expansions=20_000, mass_tol=Fraction(1, 2**40)
+    )
+    posterior = Posterior(account)
+    for state, bounds in posterior.pmf_bounds().items():
+        expected = cwp(
+            program, lambda s, target=state: 1 if s == target else 0, sigma
+        ).as_fraction()
+        assert bounds.contains(expected)
+
+
+# -- program-level inference --------------------------------------------------
+
+
+class TestInferPosterior:
+    def test_deterministic_program(self):
+        program = Seq(Assign("x", 1), Assign("y", 2))
+        posterior = infer_posterior(program)
+        assert posterior.exact
+        (state,) = posterior.states()
+        assert state["x"] == 1 and state["y"] == 2
+        assert posterior.probability(state) == Interval.point(1)
+
+    def test_fair_choice_posterior(self):
+        program = Choice(HALF, Assign("x", 0), Assign("x", 1))
+        posterior = infer_posterior(program)
+        marginal = posterior.marginal("x")
+        assert marginal[0] == Interval.point(HALF)
+        assert marginal[1] == Interval.point(HALF)
+
+    def test_observation_renormalizes(self):
+        program = Seq(
+            Choice(THIRD, Assign("x", 0), Assign("x", 1)),
+            Observe(Var("x").eq(1)),
+        )
+        posterior = infer_posterior(program)
+        marginal = posterior.marginal("x")
+        assert marginal[1] == Interval.point(1)
+        assert 0 not in marginal
+
+    def test_contradictory_observation(self):
+        program = Seq(Assign("x", 0), Observe(Var("x").eq(1)))
+        posterior = infer_posterior(program)
+        assert posterior.states() == ()
+        assert posterior.account.fail == 1
+        with pytest.raises(ZeroDivisionError):
+            posterior.query(lambda s: True)
+
+    def test_dueling_coins_bounds_contract_to_half(self):
+        # Fix merging turns this i.i.d. loop's slack decay geometric:
+        # a small budget already certifies ~1e-12 bounds.
+        posterior = infer_posterior(
+            dueling_coins(Fraction(2, 3)),
+            max_expansions=1_000,
+            mass_tol=Fraction(1, 10**12),
+        )
+        assert posterior.slack <= Fraction(1, 10**12)
+        marginal = posterior.marginal("a")
+        for value in (True, False):
+            assert marginal[value].contains(HALF)
+            # marginal width is at most ~2x the slack
+            assert marginal[value].width < Fraction(1, 10**11)
+
+    def test_geometric_primes_brackets_closed_form(self):
+        posterior = refine_until(
+            geometric_primes(Fraction(2, 3)), Fraction(1, 10**5)
+        )
+        marginal = posterior.marginal("h")
+        closed = geometric_primes_pmf(Fraction(2, 3))
+        for h in (2, 3, 5, 7, 11):
+            assert marginal[h].contains_float(closed[h], slack=1e-4)
+
+    def test_die_posterior_uniform(self):
+        posterior = infer_posterior(
+            n_sided_die(6), mass_tol=Fraction(1, 2**30)
+        )
+        marginal = posterior.marginal("x")
+        assert set(marginal) == {1, 2, 3, 4, 5, 6}
+        for bounds in marginal.values():
+            assert bounds.contains(Fraction(1, 6))
+
+    def test_mean_bounds_exact_case(self):
+        program = Choice(HALF, Assign("x", 0), Assign("x", 10))
+        posterior = infer_posterior(program)
+        assert posterior.mean_bounds("x") == Interval.point(5)
+
+    def test_mean_bounds_none_when_slack(self):
+        posterior = infer_posterior(
+            geometric_primes(HALF), max_expansions=100
+        )
+        assert posterior.mean_bounds("h") is None
+
+    def test_query_brackets_cwp(self):
+        program = geometric_primes(Fraction(2, 3))
+        bounds = infer_query(
+            program, lambda s: s["h"] == 3, max_expansions=30_000
+        )
+        exact = cwp(
+            program, lambda s: 1 if s["h"] == 3 else 0, State()
+        ).as_fraction()
+        # Kleene iteration under-approximates by ~1e-12; allow that slack.
+        assert bounds.contains_float(float(exact), slack=1e-9)
+
+    def test_skip_program(self):
+        posterior = infer_posterior(Skip())
+        assert posterior.exact
+        assert posterior.probability(State()) == Interval.point(1)
+
+
+class TestRefineUntil:
+    def test_reaches_requested_width(self):
+        posterior = refine_until(
+            dueling_coins(HALF), Fraction(1, 10**4)
+        )
+        assert posterior.slack <= Fraction(1, 10**4)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            refine_until(Skip(), Fraction(0))
+
+    def test_gives_up_at_budget(self):
+        # Divergence with probability 1/2: slack never drops below 1/2.
+        from repro.lang.syntax import While
+
+        diverging = Choice(
+            HALF,
+            Seq(Assign("loop", True), While(Var("loop"), Skip())),
+            Assign("loop", False),
+        )
+        with pytest.raises(RuntimeError):
+            refine_until(
+                diverging,
+                Fraction(1, 4),
+                initial_expansions=16,
+                max_total_expansions=512,
+            )

@@ -1,0 +1,99 @@
+"""Tests for the direct operational interpreter (repro.lang.interp)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bits.source import ConstantBits, SystemBits
+from repro.lang.expr import Lit, Var
+from repro.lang.interp import (
+    InterpreterLimits,
+    interpret,
+    interpret_many,
+)
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins, flip, geometric_primes, n_sided_die
+from repro.lang.syntax import Assign, Observe, Seq, Skip, While
+
+S0 = State()
+
+
+class TestDeterministicPrograms:
+    def test_straight_line(self):
+        program = Seq(Assign("x", Lit(2)), Assign("y", Var("x") * 3))
+        result = interpret(program, S0, seed=0)
+        assert result["x"] == 2 and result["y"] == 6
+
+    def test_bounded_loop(self):
+        program = While(Var("x") < 5, Assign("x", Var("x") + 1))
+        assert interpret(program, S0, seed=0)["x"] == 5
+
+    def test_observe_true_is_noop(self):
+        program = Seq(Assign("x", Lit(1)), Observe(Var("x").eq(1)))
+        assert interpret(program, S0, seed=0)["x"] == 1
+
+
+class TestProbabilisticPrograms:
+    def test_flip_frequency(self):
+        program = flip("b", Fraction(2, 3))
+        values = interpret_many(program, 6000, seed=5)
+        frequency = sum(1 for s in values if s["b"] is True) / len(values)
+        assert abs(frequency - 2 / 3) < 0.04
+
+    def test_die_uniform(self):
+        values = interpret_many(n_sided_die(6), 6000, seed=6)
+        for face in range(1, 7):
+            share = sum(1 for s in values if s["x"] == face) / len(values)
+            assert abs(share - 1 / 6) < 0.03
+
+    def test_dueling_coins_fair(self):
+        values = interpret_many(dueling_coins(Fraction(2, 3)), 4000, seed=7)
+        frequency = sum(1 for s in values if s["a"] is True) / len(values)
+        assert abs(frequency - 0.5) < 0.04
+
+    def test_conditioning_by_restart(self):
+        program = Seq(flip("b", Fraction(1, 2)), Observe(Var("b")))
+        values = interpret_many(program, 500, seed=8)
+        assert all(s["b"] is True for s in values)
+
+    def test_primes_posterior_support(self):
+        from repro.lang.builtins import is_prime
+
+        values = interpret_many(geometric_primes(Fraction(1, 2)), 800, seed=9)
+        assert all(is_prime(s["h"]) for s in values)
+
+
+class TestAgreementWithCompiledSampler:
+    """The interpreter and the compiled pipeline target the same
+    posterior: their empirical distributions must agree."""
+
+    def test_geometric_primes(self):
+        from repro.itree.unfold import cpgcl_to_itree
+        from repro.sampler.record import collect
+
+        program = geometric_primes(Fraction(2, 3))
+        direct = interpret_many(program, 4000, seed=10)
+        direct_mean = sum(s["h"] for s in direct) / len(direct)
+        compiled = collect(
+            cpgcl_to_itree(program, S0), 4000, seed=10,
+            extract=lambda s: s["h"],
+        )
+        assert abs(direct_mean - compiled.mean()) < 0.25
+
+
+class TestLimits:
+    def test_restart_budget(self):
+        program = Observe(Lit(False))
+        with pytest.raises(InterpreterLimits):
+            interpret(program, S0, seed=0, max_restarts=50)
+
+    def test_step_budget(self):
+        program = While(Lit(True), Skip())
+        with pytest.raises(InterpreterLimits):
+            interpret(program, S0, seed=0, max_steps=1000)
+
+    def test_adversarial_source_hits_budget(self):
+        # All-False bits keep the die's rejection loop spinning.
+        program = n_sided_die(3)
+        with pytest.raises(InterpreterLimits):
+            interpret(program, S0, source=ConstantBits(False), max_steps=500)

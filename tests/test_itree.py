@@ -1,0 +1,101 @@
+"""Unit tests for interaction trees and combinators (Section 3.4)."""
+
+import pytest
+
+from repro.bits.source import ReplayBits
+from repro.itree.combinators import bind, fmap, iter_itree
+from repro.itree.itree import ITree, Left, Ret, Right, Tau, Vis
+from repro.sampler.run import run_itree
+
+
+def run(tree, bits=()):
+    return run_itree(tree, ReplayBits(bits))
+
+
+class TestNodes:
+    def test_ret(self):
+        assert run(Ret(42)) == 42
+
+    def test_tau_is_lazy(self):
+        forced = []
+
+        def thunk():
+            forced.append(True)
+            return Ret(1)
+
+        tree = Tau(thunk)
+        assert not forced
+        assert run(tree) == 1
+        assert forced == [True]
+
+    def test_vis_consumes_bit(self):
+        tree = Vis(lambda bit: Ret("heads" if bit else "tails"))
+        assert run(tree, [True]) == "heads"
+        assert run(tree, [False]) == "tails"
+
+    def test_sum_injections(self):
+        assert Left(()) == Left(())
+        assert Right(3) == Right(3)
+        assert Left(()) != Right(())
+
+
+class TestBind:
+    def test_ret_feeds_continuation(self):
+        tree = bind(Ret(2), lambda v: Ret(v * 10))
+        assert run(tree) == 20
+
+    def test_bind_through_vis(self):
+        tree = bind(
+            Vis(lambda bit: Ret(1 if bit else 0)),
+            lambda v: Ret(v + 100),
+        )
+        assert run(tree, [True]) == 101
+
+    def test_bind_through_tau_stays_lazy(self):
+        tree = bind(Tau(lambda: Ret(1)), lambda v: Ret(v + 1))
+        assert isinstance(tree, Tau)
+        assert run(tree) == 2
+
+    def test_monad_associativity_observable(self):
+        k1 = lambda v: Vis(lambda b: Ret(v + (1 if b else 0)))
+        k2 = lambda v: Ret(v * 2)
+        base = Vis(lambda b: Ret(10 if b else 20))
+        left = bind(bind(base, k1), k2)
+        right = bind(base, lambda v: bind(k1(v), k2))
+        for bits in ([True, True], [True, False], [False, True]):
+            assert run(left, list(bits)) == run(right, list(bits))
+
+    def test_fmap(self):
+        tree = fmap(Vis(lambda b: Ret(1 if b else 0)), lambda v: -v)
+        assert run(tree, [True]) == -1
+
+
+class TestIter:
+    def test_countdown(self):
+        # Loop from 3 down to 0 without consuming bits.
+        def body(i):
+            if i == 0:
+                return Ret(Right("done"))
+            return Ret(Left(i - 1))
+
+        assert run(iter_itree(body, 3)) == "done"
+
+    def test_iteration_consumes_bits(self):
+        # Keep flipping until the first True; return the flip count.
+        def body(count):
+            return Vis(
+                lambda bit: Ret(Right(count)) if bit else Ret(Left(count + 1))
+            )
+
+        tree = iter_itree(body, 0)
+        assert run(tree, [False, False, True]) == 2
+
+    def test_tau_guard_prevents_eager_loop(self):
+        # An everlasting loop must still *construct* in finite time.
+        tree = iter_itree(lambda i: Ret(Left(i)), 0)
+        assert isinstance(tree, Tau)
+
+    def test_bad_protocol_rejected(self):
+        tree = iter_itree(lambda i: Ret("neither"), 0)
+        with pytest.raises(TypeError):
+            run(tree)

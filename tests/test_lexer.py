@@ -1,0 +1,77 @@
+"""Unit tests for the lexer (repro.lang.lexer)."""
+
+import pytest
+
+from repro.lang.errors import ParseError
+from repro.lang.lexer import (
+    KIND_EOF,
+    KIND_IDENT,
+    KIND_INT,
+    KIND_KEYWORD,
+    KIND_OP,
+    tokenize,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].kind == KIND_EOF
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("while whilex")
+        assert tokens[0].kind == KIND_KEYWORD
+        assert tokens[1].kind == KIND_IDENT
+
+    def test_numbers(self):
+        tokens = tokenize("42 007")
+        assert tokens[0] == tokens[0]._replace(kind=KIND_INT, text="42")
+        assert tokens[1].text == "007"
+
+    def test_comments_skipped(self):
+        assert texts("x # the rest is gone\ny") == ["x", "y"]
+
+
+class TestMaximalMunch:
+    def test_two_char_operators(self):
+        assert texts("x := y <~ z <= w == v") == [
+            "x", ":=", "y", "<~", "z", "<=", "w", "==", "v",
+        ]
+
+    def test_floor_div_vs_div(self):
+        assert texts("a // b / c") == ["a", "//", "b", "/", "c"]
+
+    def test_lt_followed_by_minus(self):
+        # ':=' assignment avoids the classic '<-' vs '< -' ambiguity,
+        # but '<' followed by '-' must still lex as two tokens.
+        assert texts("x < -1") == ["x", "<", "-", "1"]
+
+    def test_and_or_symbols(self):
+        assert texts("a && b || !c") == ["a", "&&", "b", "||", "!", "c"]
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("x\n  y")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("x\n  @")
+        assert err.value.line == 2
+        assert err.value.column == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("x $ y")

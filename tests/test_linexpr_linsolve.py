@@ -1,0 +1,103 @@
+"""Unit tests for symbolic linear expressions and the exact loop solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.semantics.algebra import EXT_REAL, LinExprAlgebra
+from repro.semantics.extreal import INFINITY, ExtReal
+from repro.semantics.linexpr import LinExpr, Unknown
+from repro.semantics.linsolve import SingularSystem, solve_monotone
+
+
+class TestLinExpr:
+    def test_add_merges_coefficients(self):
+        x, y = Unknown("x"), Unknown("y")
+        a = LinExpr(ExtReal(1), {x: Fraction(1, 2)})
+        b = LinExpr(ExtReal(2), {x: Fraction(1, 4), y: Fraction(1)})
+        total = a.add(b)
+        assert total.const == ExtReal(3)
+        assert total.coeffs[x] == Fraction(3, 4)
+        assert total.coeffs[y] == Fraction(1)
+
+    def test_scale(self):
+        x = Unknown()
+        expr = LinExpr(ExtReal(2), {x: Fraction(1, 2)}).scale(Fraction(1, 2))
+        assert expr.const == ExtReal(1)
+        assert expr.coeffs[x] == Fraction(1, 4)
+
+    def test_scale_by_zero_clears(self):
+        x = Unknown()
+        expr = LinExpr(ExtReal(2), {x: Fraction(1)}).scale(Fraction(0))
+        assert expr.is_constant
+        assert expr.const == ExtReal(0)
+
+    def test_zero_coefficients_dropped(self):
+        x = Unknown()
+        assert LinExpr(ExtReal(0), {x: Fraction(0)}).is_constant
+
+    def test_nested_base_algebra(self):
+        # LinExpr over LinExpr: the nested-loop case.
+        inner = LinExprAlgebra(EXT_REAL)
+        outer = LinExprAlgebra(inner)
+        x = Unknown()
+        expr = outer.lift(inner.from_scalar(Fraction(1, 2)))
+        doubled = outer.add(expr, expr)
+        assert doubled.const.const == ExtReal(1)
+        assert outer.scale(Fraction(1, 2), doubled).const.const == ExtReal(
+            Fraction(1, 2)
+        )
+        assert x not in doubled.coeffs
+
+
+class TestSolveMonotone:
+    def _solve_single(self, c, d, default_one=False):
+        solution = solve_monotone([[Fraction(c)]], default_one)
+        return solution.coeffs[0][0] * d + solution.ones[0]
+
+    def test_geometric_restart(self):
+        # X = 1/4 X + d  =>  X = (4/3) d.
+        value = self._solve_single(Fraction(1, 4), Fraction(3, 4))
+        assert value == Fraction(1)
+
+    def test_divergent_least_fixpoint(self):
+        # X = X + 0: least solution is 0.
+        solution = solve_monotone([[Fraction(1)]], default_one=False)
+        assert solution.coeffs[0][0] == 0
+        assert solution.ones[0] == 0
+
+    def test_divergent_greatest_fixpoint(self):
+        # X = X: greatest solution bounded by 1 is 1.
+        solution = solve_monotone([[Fraction(1)]], default_one=True)
+        assert solution.ones[0] == Fraction(1)
+
+    def test_two_state_chain(self):
+        # X0 = 1/2 X1 + d0; X1 = 1/2 X0 + d1.
+        c = [[Fraction(0), Fraction(1, 2)], [Fraction(1, 2), Fraction(0)]]
+        solution = solve_monotone(c, default_one=False)
+        # X0 = (4/3) d0 + (2/3) d1.
+        assert solution.coeffs[0] == [Fraction(4, 3), Fraction(2, 3)]
+
+    def test_partially_divergent_system(self):
+        # X0 = 1/2 X1 + d0; X1 = X1 (divergent class).
+        c = [[Fraction(0), Fraction(1, 2)], [Fraction(0), Fraction(1)]]
+        least = solve_monotone(c, default_one=False)
+        assert least.coeffs[0][0] == Fraction(1)
+        assert least.ones[0] == 0  # X1 contributes nothing
+        greatest = solve_monotone(c, default_one=True)
+        assert greatest.ones[0] == Fraction(1, 2)  # X1 = 1 flows in
+
+    def test_solution_map_nonnegative(self):
+        c = [
+            [Fraction(1, 3), Fraction(1, 3)],
+            [Fraction(1, 4), Fraction(1, 2)],
+        ]
+        solution = solve_monotone(c, default_one=False)
+        for row in solution.coeffs:
+            assert all(q >= 0 for q in row)
+
+    def test_infinite_exit_values_flow_through(self):
+        # Exact solving must combine ExtReal exit values, including inf.
+        solution = solve_monotone([[Fraction(1, 2)]], default_one=False)
+        value = INFINITY.scale(solution.coeffs[0][0])
+        assert value.is_infinite

@@ -1,0 +1,336 @@
+"""Tests for the MH kernel, sampler, and diagnostics (repro.mcmc)."""
+
+import math
+from collections import Counter
+from fractions import Fraction
+
+import pytest
+
+from repro.bits.source import CountingBits, ReplayBits, SystemBits
+from repro.lang.expr import Var
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins, geometric_primes
+from repro.lang.syntax import Assign, Choice, Observe, Seq, Skip, Uniform
+from repro.mcmc import (
+    ACCEPTED,
+    NO_SITES,
+    REJECTED_OBSERVATION,
+    MHSampler,
+    autocorrelation,
+    bernoulli_exact,
+    effective_sample_size,
+    gelman_rubin,
+    initialize,
+    mh_step,
+    replay,
+    rhat,
+    run_chains,
+)
+from repro.semantics.cwp import cwp
+from repro.stats.distributions import geometric_primes_pmf
+
+HALF = Fraction(1, 2)
+THIRD = Fraction(1, 3)
+S0 = State()
+
+
+class TestBernoulliExact:
+    def test_degenerate(self):
+        source = ReplayBits([])
+        assert bernoulli_exact(Fraction(0), source) is False
+        assert bernoulli_exact(Fraction(1), source) is True
+        assert bernoulli_exact(Fraction(2), source) is True
+        assert source.remaining == 0  # no bits consumed
+
+    def test_half_decided_by_one_bit(self):
+        # u = .0... < 1/2 -> True; u = .1... >= 1/2 -> False.
+        assert bernoulli_exact(HALF, ReplayBits([False])) is True
+        assert bernoulli_exact(HALF, ReplayBits([True])) is False
+
+    def test_quarter_decision_tree(self):
+        # Binary expansion of 1/4 is .01
+        assert bernoulli_exact(Fraction(1, 4), ReplayBits([True])) is False
+        assert bernoulli_exact(
+            Fraction(1, 4), ReplayBits([False, True])
+        ) is False
+        assert bernoulli_exact(
+            Fraction(1, 4), ReplayBits([False, False])
+        ) is True
+
+    def test_third_empirical(self):
+        source = SystemBits(13)
+        n = 20_000
+        heads = sum(bernoulli_exact(THIRD, source) for _ in range(n))
+        assert abs(heads / n - 1 / 3) < 0.02
+
+    def test_exact_boundary_match_rejects(self):
+        # alpha = 1/2, u's bits match the expansion then alpha hits 0:
+        # u == alpha exactly, and P(u < alpha) excludes equality.
+        assert bernoulli_exact(HALF, ReplayBits([True])) is False
+
+    def test_dyadic_alpha_exhaustively_exact(self):
+        # For alpha = k / 2^m the decision consumes at most m bits, so
+        # enumerating all 2^m equiprobable bitstreams must yield heads
+        # on exactly k of them -- exactness, not approximation.
+        import itertools
+
+        m = 5
+        for k in (0, 1, 7, 16, 21, 31, 32):
+            alpha = Fraction(k, 2**m)
+            heads = sum(
+                bernoulli_exact(alpha, ReplayBits(bits))
+                for bits in itertools.product((False, True), repeat=m)
+            )
+            assert heads == k, "alpha=%s" % alpha
+
+
+class TestMHStep:
+    def test_no_sites_is_identity(self):
+        program = Assign("x", 42)
+        result = replay(program, S0, source=SystemBits(0))
+        step = mh_step(
+            program, S0, result.trace, result.state, SystemBits(1)
+        )
+        assert step.outcome == NO_SITES
+        assert step.state == result.state
+
+    def test_fair_coin_always_accepts(self):
+        # Symmetric single-site proposal: alpha is exactly 1.
+        program = Choice(HALF, Assign("x", 0), Assign("x", 1))
+        current = replay(program, S0, source=SystemBits(2))
+        step = mh_step(
+            program, S0, current.trace, current.state, SystemBits(3)
+        )
+        assert step.outcome == ACCEPTED
+        assert step.alpha == 1
+
+    def test_observation_violation_rejected(self):
+        # x must stay 1; proposing x=0 violates the observation.
+        program = Seq(
+            Choice(HALF, Assign("x", 0), Assign("x", 1)),
+            Observe(Var("x").eq(1)),
+        )
+        trace, state = initialize(program, S0, SystemBits(4))
+        assert state["x"] == 1
+        for seed in range(8):
+            step = mh_step(program, S0, trace, state, SystemBits(seed))
+            # Either the proposal redrew x=1 (accept, same posterior) or
+            # x=0 (observation rejection); never an x=0 sample.
+            assert step.state["x"] == 1
+            assert step.outcome in (ACCEPTED, REJECTED_OBSERVATION)
+
+    def test_biased_coin_acceptance_ratio(self):
+        # From tails (prob 2/3) proposing heads (prob 1/3): the
+        # single-site ratio is exactly 1 -- prior proposals cancel the
+        # density -- so every proposal is accepted; the chain mixes by
+        # proposing tails->tails half the time.
+        program = Choice(THIRD, Assign("x", 0), Assign("x", 1))
+        for seed in range(6):
+            current = replay(program, S0, source=SystemBits(seed))
+            step = mh_step(
+                program, S0, current.trace, current.state,
+                SystemBits(seed + 100),
+            )
+            assert step.alpha == 1
+            assert step.outcome == ACCEPTED
+
+    def test_impossible_reuse_rejected(self):
+        from repro.mcmc import REJECTED_IMPOSSIBLE
+        from repro.lang.syntax import Uniform
+
+        program = Seq(Uniform(2, "y"), Uniform(Var("y") + 1, "z"))
+        # Find a chain state with y=1, z=1: the only state from which
+        # proposing y=0 strands the reused z.
+        source = SystemBits(6)
+        while True:
+            current = replay(program, S0, source=source)
+            if current.state["y"] == 1 and current.state["z"] == 1:
+                break
+        outcomes = set()
+        for seed in range(24):
+            step = mh_step(
+                program, S0, current.trace, current.state, SystemBits(seed)
+            )
+            outcomes.add(step.outcome)
+            if step.outcome == REJECTED_IMPOSSIBLE:
+                assert step.state["z"] == 1  # chain state unchanged
+        assert REJECTED_IMPOSSIBLE in outcomes
+
+    def test_initialize_satisfies_observation(self):
+        program = Seq(
+            Uniform(6, "r"),
+            Observe(Var("r").eq(5)),
+        )
+        trace, state = initialize(program, S0, SystemBits(7))
+        assert state["r"] == 5
+
+    def test_initialize_gives_up_on_contradiction(self):
+        program = Seq(Assign("x", 0), Observe(Var("x").eq(1)))
+        with pytest.raises(RuntimeError):
+            initialize(program, S0, SystemBits(0), max_restarts=10)
+
+
+class TestMHSampler:
+    def test_run_returns_requested_samples(self):
+        chain = MHSampler(dueling_coins(HALF), seed=0).run(50, burn_in=10)
+        assert len(chain) == 50
+        assert len(chain.extract("a")) == 50
+        assert 0.0 <= chain.acceptance_rate() <= 1.0
+        assert chain.bits_per_sample() > 0
+
+    def test_thinning_multiplies_steps(self):
+        chain = MHSampler(dueling_coins(HALF), seed=1).run(
+            20, burn_in=5, thin=3
+        )
+        assert len(chain) == 20
+        assert len(chain.outcomes) == 5 + 20 * 3
+
+    def test_validation(self):
+        sampler = MHSampler(Skip(), seed=0)
+        with pytest.raises(ValueError):
+            sampler.run(-1)
+        with pytest.raises(ValueError):
+            sampler.run(10, thin=0)
+
+    def test_deterministic_program_chain(self):
+        chain = MHSampler(Assign("x", 3), seed=0).run(5)
+        assert all(state["x"] == 3 for state in chain.states)
+        assert all(outcome == NO_SITES for outcome in chain.outcomes)
+
+    def test_posterior_agreement_biased_coin(self):
+        program = Choice(THIRD, Assign("x", 1), Assign("x", 0))
+        chain = MHSampler(program, seed=3).run(6000, burn_in=200)
+        mean = sum(chain.extract("x")) / len(chain)
+        assert abs(mean - 1 / 3) < 0.03
+
+    def test_posterior_agreement_geometric_primes(self):
+        program = geometric_primes(HALF)
+        chain = MHSampler(program, seed=5).run(6000, burn_in=500)
+        counts = Counter(chain.extract("h"))
+        closed = geometric_primes_pmf(HALF)
+        for h in (2, 3, 5):
+            assert abs(counts.get(h, 0) / len(chain) - closed[h]) < 0.04
+
+    def test_posterior_matches_cwp_with_conditioning(self):
+        # Conditioned die: r uniform in 0..5 given r >= 3.
+        program = Seq(Uniform(6, "r"), Observe(Var("r") >= 3))
+        chain = MHSampler(program, seed=8).run(6000, burn_in=200)
+        counts = Counter(chain.extract("r"))
+        assert set(counts) == {3, 4, 5}
+        for r in (3, 4, 5):
+            exact = float(
+                cwp(program, lambda s, r=r: 1 if s["r"] == r else 0, S0)
+            )
+            assert abs(counts[r] / len(chain) - exact) < 0.04
+
+    def test_mcmc_beats_rejection_entropy_under_rare_conditioning(self):
+        # The paper's Table 2 shows rejection needs ~142 bits/sample at
+        # p=1/5; trace MCMC reuses the accepted trace and pays an order
+        # of magnitude less after initialization.
+        program = geometric_primes(Fraction(1, 5))
+        chain = MHSampler(program, seed=9).run(500, burn_in=100)
+        assert chain.bits_per_sample() < 60
+
+
+class TestDiagnostics:
+    def test_autocorrelation_lag_zero_is_one(self):
+        acf = autocorrelation([1.0, 2.0, 3.0, 4.0, 3.0, 2.0], max_lag=2)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_autocorrelation_constant_chain(self):
+        assert autocorrelation([5.0] * 10, max_lag=3) == [1.0] * 4
+
+    def test_autocorrelation_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0], max_lag=0)
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], max_lag=5)
+
+    def test_ess_independent_samples_near_n(self):
+        import random
+
+        rng = random.Random(0)
+        values = [rng.random() for _ in range(2000)]
+        ess = effective_sample_size(values)
+        assert ess > 1200  # iid noise: ESS close to n
+
+    def test_ess_sticky_chain_much_smaller(self):
+        import random
+
+        rng = random.Random(1)
+        values = [0.0]
+        for _ in range(1999):
+            # High persistence: move rarely.
+            values.append(
+                values[-1] if rng.random() < 0.95 else rng.random()
+            )
+        assert effective_sample_size(values) < 400
+
+    def test_ess_constant_chain_is_one(self):
+        assert effective_sample_size([2.0] * 100) == 1.0
+
+    def test_ess_tiny_chain(self):
+        assert effective_sample_size([1.0, 2.0]) == 2.0
+
+    def test_gelman_rubin_mixed_chains_near_one(self):
+        import random
+
+        rng = random.Random(2)
+        chains = [
+            [rng.gauss(0, 1) for _ in range(500)] for _ in range(4)
+        ]
+        assert gelman_rubin(chains) == pytest.approx(1.0, abs=0.05)
+
+    def test_gelman_rubin_split_chains_large(self):
+        import random
+
+        rng = random.Random(3)
+        near_zero = [rng.gauss(0, 0.1) for _ in range(200)]
+        near_ten = [rng.gauss(10, 0.1) for _ in range(200)]
+        assert gelman_rubin([near_zero, near_ten]) > 5
+
+    def test_gelman_rubin_validation(self):
+        with pytest.raises(ValueError):
+            gelman_rubin([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            gelman_rubin([[1.0], [2.0]])
+        with pytest.raises(ValueError):
+            gelman_rubin([[1.0, 2.0], [1.0]])
+
+    def test_gelman_rubin_constant_chains(self):
+        assert gelman_rubin([[1.0, 1.0], [1.0, 1.0]]) == 1.0
+        assert math.isinf(gelman_rubin([[1.0, 1.0], [2.0, 2.0]]))
+
+
+class TestRunChains:
+    def test_reproducible_and_independent(self):
+        program = dueling_coins(HALF)
+        first = run_chains(program, 50, chains=3, seed=7, burn_in=10)
+        second = run_chains(program, 50, chains=3, seed=7, burn_in=10)
+        assert len(first) == 3
+        for a, b in zip(first, second):
+            assert a.states == b.states  # derived seeds: reproducible
+        assert first[0].states != first[1].states  # distinct seeds differ
+
+    def test_rhat_on_mixed_chains(self):
+        program = geometric_primes(HALF)
+        records = run_chains(
+            program, 400, chains=4, seed=3, burn_in=100
+        )
+        assert rhat(records, "h") < 1.2  # mixed into the same posterior
+
+    def test_chain_count_validation(self):
+        with pytest.raises(ValueError):
+            run_chains(Skip(), 10, chains=0)
+
+
+class TestChainEntropyAccounting:
+    def test_counting_source_integration(self):
+        inner = SystemBits(11)
+        sampler = MHSampler(
+            dueling_coins(Fraction(2, 3)), source=inner, seed=None
+        )
+        chain = sampler.run(100, burn_in=20)
+        total = chain.bits_init + chain.bits_steps
+        assert total > 0
+        assert chain.bits_per_sample() == pytest.approx(total / 100)

@@ -1,0 +1,229 @@
+"""Tests for trace recording and replay (repro.mcmc.trace / .replay)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bits.source import ReplayBits, SystemBits
+from repro.lang.expr import Var
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins, geometric_primes
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.mcmc.replay import ReplayBudgetExhausted, replay
+from repro.mcmc.trace import (
+    Trace,
+    TraceEntry,
+    choice_entry,
+    reuse_entry,
+    uniform_entry,
+)
+
+HALF = Fraction(1, 2)
+THIRD = Fraction(1, 3)
+
+
+class TestTraceEntry:
+    def test_choice_entry_heads_probability(self):
+        entry = choice_entry(THIRD, True)
+        assert entry.prob == THIRD
+        assert choice_entry(THIRD, False).prob == Fraction(2, 3)
+
+    def test_uniform_entry_probability(self):
+        assert uniform_entry(6, 3).prob == Fraction(1, 6)
+
+    def test_uniform_entry_range_check(self):
+        with pytest.raises(ValueError):
+            uniform_entry(6, 6)
+        with pytest.raises(ValueError):
+            uniform_entry(6, -1)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEntry("gaussian", 1, 0, HALF)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            TraceEntry("choice", HALF, True, Fraction(3, 2))
+
+    def test_immutable(self):
+        entry = choice_entry(HALF, True)
+        with pytest.raises(AttributeError):
+            entry.value = False
+
+
+class TestTrace:
+    def test_density_is_product(self):
+        trace = Trace((choice_entry(THIRD, True), uniform_entry(4, 0)))
+        assert trace.density() == THIRD * Fraction(1, 4)
+
+    def test_empty_density_is_one(self):
+        assert Trace().density() == 1
+
+    def test_reuse_positional(self):
+        trace = Trace((choice_entry(HALF, True),))
+        assert trace.reuse_value(0, "choice") is True
+        assert trace.reuse_value(1, "choice") is None
+
+    def test_reuse_rejects_kind_mismatch(self):
+        trace = Trace((choice_entry(HALF, True),))
+        assert trace.reuse_value(0, "uniform") is None
+
+    def test_reuse_keeps_value_even_when_param_changes(self):
+        # Legality under the new parameter is priced by reuse_entry,
+        # not decided here (keeps proposals symmetric).
+        trace = Trace((uniform_entry(10, 7),))
+        assert trace.reuse_value(0, "uniform") == 7
+
+    def test_reuse_entry_prices_impossible_values_at_zero(self):
+        assert reuse_entry("uniform", 5, 7).prob == 0
+        assert reuse_entry("uniform", 8, 7).prob == Fraction(1, 8)
+        assert reuse_entry("choice", Fraction(0), True).prob == 0
+        assert reuse_entry("choice", Fraction(1), False).prob == 0
+        assert reuse_entry("choice", Fraction(1), True).prob == 1
+
+    def test_reuse_entry_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            reuse_entry("gaussian", 1, 0)
+
+    def test_rejects_non_entries(self):
+        with pytest.raises(TypeError):
+            Trace((1, 2))
+
+
+class TestReplay:
+    def test_forward_records_all_sites(self):
+        program = Seq(
+            Choice(THIRD, Assign("x", 0), Assign("x", 1)),
+            Uniform(4, "y"),
+        )
+        result = replay(program, State(), source=SystemBits(0))
+        assert result.observed
+        assert len(result.trace) == 2
+        assert result.trace[0].kind == "choice"
+        assert result.trace[1].kind == "uniform"
+        # Everything was fresh: q_fresh is the full trace density.
+        assert result.q_fresh == result.trace.density()
+        assert result.reused == frozenset()
+
+    def test_full_replay_is_deterministic(self):
+        program = dueling_coins(Fraction(2, 3))
+        first = replay(program, State(), source=SystemBits(5))
+        again = replay(
+            program,
+            State(),
+            old_trace=first.trace,
+            source=ReplayBits([]),  # no fresh bits may be needed
+        )
+        assert again.state == first.state
+        assert again.trace == first.trace
+        assert again.q_fresh == 1
+        assert again.reused == frozenset(range(len(first.trace)))
+
+    def test_proposal_site_forces_fresh_draw(self):
+        program = Choice(HALF, Assign("x", 0), Assign("x", 1))
+        first = replay(program, State(), source=SystemBits(3))
+        # Fresh draw at site 0 must consume a bit.
+        flipped = replay(
+            program,
+            State(),
+            old_trace=first.trace,
+            proposal_site=0,
+            source=ReplayBits([not first.trace[0].value]),
+        )
+        assert flipped.trace[0].value == (not first.trace[0].value)
+        assert flipped.q_fresh == HALF
+        assert flipped.reused == frozenset()
+
+    def test_observation_failure_reported(self):
+        program = Seq(Assign("x", 0), Observe(Var("x").eq(1)))
+        result = replay(program, State(), source=SystemBits(0))
+        assert not result.observed
+        assert result.state is None
+
+    def test_budget_exhaustion_raises(self):
+        diverging = Seq(Assign("go", True), While(Var("go"), Skip()))
+        with pytest.raises(ReplayBudgetExhausted):
+            replay(diverging, State(), source=SystemBits(0), max_steps=50)
+
+    def test_state_dependent_bias_recomputed_on_reuse(self):
+        # p depends on y; replaying with a different prefix value changes
+        # the recorded probability of the reused suffix entry.
+        program = Seq(
+            Uniform(2, "y"),
+            Choice(
+                Var("y") * Fraction(1, 2) + Fraction(1, 4),
+                Assign("x", 0),
+                Assign("x", 1),
+            ),
+        )
+        base = replay(program, State(), source=SystemBits(9))
+        y_value = base.trace[0].value
+        for bit in (False, True):  # find the bit that flips y
+            flipped = replay(
+                program,
+                State(),
+                old_trace=base.trace,
+                proposal_site=0,
+                source=ReplayBits([bit]),
+            )
+            if flipped.trace[0].value != y_value:
+                break
+        else:
+            pytest.fail("no single bit flipped the uniform(2) draw")
+        assert flipped.trace[0].value == 1 - y_value
+        # Choice outcome was reused, but its probability was recomputed
+        # under the new bias p(y).
+        assert flipped.trace[1].value == base.trace[1].value
+        assert flipped.trace[1].param != base.trace[1].param
+
+    def test_shrinking_range_makes_reuse_impossible(self):
+        # z is drawn from uniform(y + 1); proposing y: 1 -> 0 shrinks the
+        # range to 1, under which the reused z = 1 is impossible -- the
+        # replay reports a zero-density proposal instead of redrawing.
+        program = Seq(
+            Uniform(2, "y"), Uniform(Var("y") + 1, "z")
+        )
+        base = None
+        for seed in range(64):
+            candidate = replay(program, State(), source=SystemBits(seed))
+            if candidate.state["y"] == 1 and candidate.state["z"] == 1:
+                base = candidate
+                break
+        assert base is not None, "no seed produced y=1, z=1"
+        for bit in (False, True):
+            flipped = replay(
+                program,
+                State(),
+                old_trace=base.trace,
+                proposal_site=0,
+                source=ReplayBits([bit]),
+            )
+            if flipped.trace[0].value == 0:
+                break
+        else:
+            pytest.fail("no single bit flipped the uniform(2) draw")
+        assert flipped.impossible
+        assert flipped.state is None
+        assert flipped.trace.density() == 0
+
+    def test_prefix_property(self):
+        # Sites before the proposal site replay identically.
+        program = geometric_primes(HALF)
+        base = replay(program, State(), source=SystemBits(21))
+        site = len(base.trace) - 1
+        perturbed = replay(
+            program,
+            State(),
+            old_trace=base.trace,
+            proposal_site=site,
+            source=SystemBits(22),
+        )
+        assert perturbed.trace.entries[:site] == base.trace.entries[:site]

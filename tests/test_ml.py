@@ -1,0 +1,86 @@
+"""Tests for the SGD demo substrate (Section 5.3 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import synthetic_mnist
+from repro.ml.mlp import MLP
+from repro.ml.sgd import train
+
+
+class TestData:
+    def test_shapes(self):
+        x_train, y_train, x_test, y_test = synthetic_mnist(
+            n_train=100, n_test=40, side=8
+        )
+        assert x_train.shape == (100, 64)
+        assert x_test.shape == (40, 64)
+        assert y_train.shape == (100,)
+        assert set(np.unique(y_train)) <= set(range(10))
+
+    def test_pixels_in_unit_interval(self):
+        x_train, *_ = synthetic_mnist(n_train=50)
+        assert x_train.min() >= 0.0 and x_train.max() <= 1.0
+
+    def test_seeded_determinism(self):
+        a = synthetic_mnist(n_train=20, seed=3)[0]
+        b = synthetic_mnist(n_train=20, seed=3)[0]
+        assert np.array_equal(a, b)
+
+
+class TestMLP:
+    def test_gradient_check(self):
+        # Finite-difference check on a tiny network.
+        rng = np.random.default_rng(0)
+        net = MLP(4, 5, 3, seed=0)
+        x = rng.normal(size=(6, 4))
+        y = rng.integers(0, 3, size=6)
+        loss, grads = net.loss_and_gradients(x, y)
+        eps = 1e-6
+        index = (1, 2)
+        net.w1[index] += eps
+        loss_plus, _ = net.loss_and_gradients(x, y)
+        net.w1[index] -= 2 * eps
+        loss_minus, _ = net.loss_and_gradients(x, y)
+        net.w1[index] += eps
+        numeric = (loss_plus - loss_minus) / (2 * eps)
+        assert abs(numeric - grads[0][index]) < 1e-5
+
+    def test_training_reduces_loss(self):
+        x_train, y_train, x_test, y_test = synthetic_mnist(
+            n_train=400, n_test=100, seed=1
+        )
+        result = train(
+            x_train, y_train, x_test, y_test,
+            sampler="stdlib", steps=120, seed=1,
+        )
+        early = sum(result.losses[:10]) / 10
+        late = sum(result.losses[-10:]) / 10
+        assert late < early
+
+    def test_accuracy_reasonable(self):
+        x_train, y_train, x_test, y_test = synthetic_mnist(seed=2)
+        result = train(
+            x_train, y_train, x_test, y_test,
+            sampler="stdlib", steps=250, seed=2,
+        )
+        assert result.test_accuracy > 0.7
+
+
+class TestSamplerSwap:
+    """The Section 5.3 claim: the verified sampler doesn't hurt SGD."""
+
+    def test_zar_sampler_trains_comparably(self):
+        x_train, y_train, x_test, y_test = synthetic_mnist(
+            n_train=600, n_test=200, seed=4
+        )
+        zar = train(x_train, y_train, x_test, y_test,
+                    sampler="zar", steps=150, seed=4)
+        std = train(x_train, y_train, x_test, y_test,
+                    sampler="stdlib", steps=150, seed=4)
+        assert abs(zar.test_accuracy - std.test_accuracy) < 0.12
+
+    def test_unknown_sampler_rejected(self):
+        x_train, y_train, x_test, y_test = synthetic_mnist(n_train=20, n_test=10)
+        with pytest.raises(ValueError):
+            train(x_train, y_train, x_test, y_test, sampler="quantum")

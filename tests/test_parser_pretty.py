@@ -1,0 +1,176 @@
+"""Parser and pretty-printer tests, including the round-trip property."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.lang.errors import ParseError
+from repro.lang.expr import BinOp, Call, Lit, UnOp, Var
+from repro.lang.parser import (
+    canonicalize,
+    parse_expr,
+    parse_program,
+)
+from repro.lang.pretty import pretty, pretty_expr
+from repro.lang.state import State
+from repro.lang.sugar import (
+    dueling_coins,
+    geometric_primes,
+    laplace,
+    n_sided_die,
+)
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from tests.strategies import (
+    bool_expr,
+    loop_free_command,
+    numeric_expr,
+    states,
+)
+
+
+class TestParseExpr:
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("1 + x * 3") == BinOp(
+            "+", Lit(1), BinOp("*", Var("x"), Lit(3))
+        )
+
+    def test_left_associativity(self):
+        assert parse_expr("x - y - z") == BinOp(
+            "-", BinOp("-", Var("x"), Var("y")), Var("z")
+        )
+
+    def test_parentheses(self):
+        assert parse_expr("(x + y) * z") == BinOp(
+            "*", BinOp("+", Var("x"), Var("y")), Var("z")
+        )
+
+    def test_rational_literal_folds(self):
+        assert parse_expr("2/3") == Lit(Fraction(2, 3))
+
+    def test_negative_literal_folds(self):
+        assert parse_expr("-5") == Lit(-5)
+
+    def test_bool_connectives(self):
+        expr = parse_expr("a && b || !c")
+        assert expr == BinOp(
+            "or",
+            BinOp("and", Var("a"), Var("b")),
+            UnOp("not", Var("c")),
+        )
+
+    def test_keyword_connectives(self):
+        assert parse_expr("a and b") == BinOp("and", Var("a"), Var("b"))
+
+    def test_builtin_call(self):
+        assert parse_expr("is_prime(h)") == Call("is_prime", [Var("h")])
+
+    def test_call_arity_checked(self):
+        with pytest.raises(ParseError):
+            parse_expr("min(1)")
+
+    def test_unknown_builtin(self):
+        with pytest.raises(ParseError):
+            parse_expr("mystery(1)")
+
+    def test_trailing_input(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + 2 extra")
+
+    def test_division_by_zero_not_folded(self):
+        # Folding must not turn a runtime error into a parse failure.
+        expr = parse_expr("1/0")
+        assert expr == BinOp("/", Lit(1), Lit(0))
+
+
+class TestParseProgram:
+    def test_assignment(self):
+        assert parse_program("x := 1;") == Assign("x", Lit(1))
+
+    def test_skip_observe(self):
+        program = parse_program("skip; observe even(x);")
+        assert program == Seq(Skip(), Observe(Call("even", [Var("x")])))
+
+    def test_if_without_else(self):
+        program = parse_program("if x < 1 { skip; }")
+        assert isinstance(program, Ite)
+        assert program.orelse == Skip()
+
+    def test_while(self):
+        program = parse_program("while b { x := x + 1; }")
+        assert isinstance(program, While)
+
+    def test_choice_statement(self):
+        program = parse_program("{ x := 1; } [1/3] { x := 2; };")
+        assert isinstance(program, Choice)
+        assert program.prob == Lit(Fraction(1, 3))
+
+    def test_uniform_sugar(self):
+        program = parse_program("m <~ uniform(6);")
+        assert program == Uniform(Lit(6), "m")
+
+    def test_flip_sugar_desugars_to_choice(self):
+        program = parse_program("b <~ flip(2/3);")
+        assert program == Choice(
+            Lit(Fraction(2, 3)), Assign("b", True), Assign("b", False)
+        )
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("x := 1")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("x := ;")
+        assert "1:" in str(err.value)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "program",
+        [
+            geometric_primes(Fraction(2, 3)),
+            dueling_coins(Fraction(1, 20)),
+            n_sided_die(6),
+            laplace("out", 1, 2),
+        ],
+        ids=["primes", "dueling", "die", "laplace"],
+    )
+    def test_paper_programs(self, program):
+        assert parse_program(pretty(program)) == canonicalize(program)
+
+    @given(loop_free_command(3))
+    def test_random_commands(self, command):
+        assert parse_program(pretty(command)) == canonicalize(command)
+
+    @given(numeric_expr(3))
+    def test_random_numeric_exprs(self, expr):
+        from repro.lang.parser import fold_constants_expr
+
+        assert parse_expr(pretty_expr(expr)) == fold_constants_expr(expr)
+
+    @given(bool_expr(3))
+    def test_random_bool_exprs(self, expr):
+        from repro.lang.parser import fold_constants_expr
+
+        assert parse_expr(pretty_expr(expr)) == fold_constants_expr(expr)
+
+    @given(numeric_expr(3), states)
+    def test_folding_preserves_semantics(self, expr, sigma):
+        from repro.lang.errors import EvalError
+        from repro.lang.parser import fold_constants_expr
+
+        try:
+            expected = expr.eval(sigma)
+        except EvalError:
+            return  # runtime error stays a runtime error
+        assert fold_constants_expr(expr).eval(sigma) == expected

@@ -1,0 +1,65 @@
+"""Tests for preimage computation (Section 4.2, Figure 6c)."""
+
+from fractions import Fraction
+
+from repro.cftree.uniform import bernoulli_tree, uniform_tree
+from repro.itree.itree import Ret, Vis
+from repro.itree.unfold import tie_itree, to_itree_open
+from repro.sampler.preimage import preimage
+
+
+class TestFigure6:
+    def test_bernoulli_two_thirds_measure(self):
+        # The preimage of {true} under the Bernoulli(2/3) sampler is a
+        # union of disjoint dyadic intervals of total measure 2/3
+        # (Figure 6c; interval positions differ from the figure because
+        # the artifact's tree keeps outcome copies, see DESIGN.md).
+        sampler = tie_itree(to_itree_open(bernoulli_tree(Fraction(2, 3))))
+        result = preimage(sampler, lambda v: v is True, max_bits=24)
+        assert result.lower <= Fraction(2, 3) <= result.upper
+        assert result.upper - result.lower < Fraction(1, 2**10)
+
+    def test_complement_measures_sum_to_one(self):
+        sampler = tie_itree(to_itree_open(bernoulli_tree(Fraction(2, 3))))
+        heads = preimage(sampler, lambda v: v is True, max_bits=20)
+        tails = preimage(sampler, lambda v: v is False, max_bits=20)
+        total = heads.lower + tails.lower
+        assert total <= 1
+        assert 1 - total < Fraction(1, 2**8)  # only undecided mass missing
+
+    def test_intervals_are_disjoint_basics(self):
+        sampler = tie_itree(to_itree_open(bernoulli_tree(Fraction(2, 3))))
+        result = preimage(sampler, lambda v: v is True, max_bits=16)
+        intervals = result.preimage.intervals()
+        for first, second in zip(intervals, intervals[1:]):
+            assert first.high <= second.low
+
+
+class TestExactCases:
+    def test_single_flip(self):
+        tree = Vis(lambda b: Ret(b))
+        result = preimage(tree, lambda v: v is True, max_bits=4)
+        assert result.lower == result.upper == Fraction(1, 2)
+        # The preimage is exactly B("1").
+        (component,) = result.preimage.components
+        assert component.prefix == (True,)
+
+    def test_uniform_die_outcome(self):
+        sampler = tie_itree(to_itree_open(uniform_tree(6)))
+        result = preimage(sampler, lambda v: v == 0, max_bits=20)
+        assert result.lower <= Fraction(1, 6) <= result.upper
+        assert result.upper - result.lower < Fraction(1, 2**12)
+
+    def test_no_matching_event(self):
+        tree = Ret("only")
+        result = preimage(tree, lambda v: False, max_bits=4)
+        assert result.lower == 0 and result.undecided == 0
+
+    def test_divergence_mass_reported(self):
+        from repro.itree.itree import Tau
+
+        def spin():
+            return Tau(spin)
+
+        result = preimage(Tau(spin), lambda v: True, max_bits=4, max_taus=16)
+        assert result.diverged == 1

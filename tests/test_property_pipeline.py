@@ -1,0 +1,102 @@
+"""Property-based pipeline tests: random programs through every stage.
+
+The heavy-duty randomized counterpart of the per-theorem unit tests:
+for randomly generated programs (including bounded loops), the four
+semantics -- cwp on source, tcwp on CF trees, tcwp after debias, and
+bit-exact sampling determinism -- must all agree.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.debias import debias
+from repro.cftree.elim import elim_choices
+from repro.cftree.semantics import twlp, twp
+from repro.itree.unfold import cpgcl_to_itree
+from repro.sampler.run import run_with_bits
+from repro.semantics.expectation import indicator
+from repro.semantics.wp import wlp, wp
+from repro.lang.state import State
+from tests.strategies import commands_with_loops, loop_free_command, states
+
+
+def posterior_f(sigma):
+    return 1 if sigma["x"] > 0 else 0
+
+
+class TestFourWayAgreement:
+    @given(loop_free_command(3), states)
+    def test_wp_equals_twp(self, command, sigma):
+        lhs = twp(compile_cpgcl(command, sigma), indicator(lambda s: s["x"] > 0))
+        rhs = wp(command, indicator(lambda s: s["x"] > 0), sigma)
+        assert lhs == rhs
+
+    @given(loop_free_command(3), states)
+    def test_wlp_equals_twlp(self, command, sigma):
+        f = indicator(lambda s: s["x"] > 0)
+        lhs = twlp(compile_cpgcl(command, sigma), f)
+        rhs = wlp(command, f, sigma)
+        assert lhs == rhs
+
+    @given(loop_free_command(3), states)
+    def test_debias_preserves_everything(self, command, sigma):
+        tree = elim_choices(compile_cpgcl(command, sigma))
+        debiased = debias(tree)
+        f = indicator(lambda s: s["x"] > 0)
+        assert twp(debiased, f) == twp(tree, f)
+        assert twp(debiased, f, flag=True) == twp(tree, f, flag=True)
+
+    @settings(max_examples=25)
+    @given(commands_with_loops(2), states)
+    def test_with_bounded_loops(self, command, sigma):
+        f = indicator(lambda s: s["x"] > 0)
+        lhs = twp(compile_cpgcl(command, sigma), f)
+        rhs = wp(command, f, sigma)
+        assert lhs == rhs
+
+
+class TestSamplingDeterminism:
+    @settings(max_examples=25)
+    @given(loop_free_command(2), states, *( [] ))
+    def test_replay_stability(self, command, sigma):
+        # The sampler is a function on Cantor space: the same bit prefix
+        # always yields the same sample and consumption.
+        import random as pyrandom
+
+        tree = cpgcl_to_itree(command, sigma)
+        rng = pyrandom.Random(0)
+        bits = [bool(rng.getrandbits(1)) for _ in range(512)]
+        from repro.bits.source import BitsExhausted
+        from repro.sampler.run import FuelExhausted
+
+        try:
+            first = run_with_bits(tree, bits, fuel=100000)
+        except (BitsExhausted, FuelExhausted):
+            return
+        second = run_with_bits(tree, bits, fuel=100000)
+        assert first == second
+
+    @settings(max_examples=15)
+    @given(loop_free_command(2), states)
+    def test_frequency_tracks_twp(self, command, sigma):
+        """Coarse equidistribution: 800 samples vs the exact posterior.
+
+        Thresholds are loose (8 sigma) -- the precise statistical checks
+        live in test_end_to_end.py with fixed seeds; this guards against
+        gross pipeline breakage on arbitrary programs.
+        """
+        from repro.cftree.semantics import TreeConditioningError, tcwp
+        from repro.sampler.record import collect
+
+        f = indicator(lambda s: s["x"] > 0)
+        try:
+            expected = float(tcwp(compile_cpgcl(command, sigma), f))
+        except TreeConditioningError:
+            return
+        tree = cpgcl_to_itree(command, sigma)
+        samples = collect(tree, 800, seed=7)
+        freq = sum(1 for v in samples.values if v["x"] > 0) / 800
+        assert abs(freq - expected) < 8 * 0.5 / (800 ** 0.5)

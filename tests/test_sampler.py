@@ -1,0 +1,117 @@
+"""Tests for the driver, sample recording, and the table harness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bits.source import ConstantBits, ReplayBits, SystemBits
+from repro.cftree.uniform import uniform_tree
+from repro.itree.itree import Ret, Tau, Vis
+from repro.itree.unfold import cpgcl_to_itree, tie_itree, to_itree_open
+from repro.lang.state import State
+from repro.lang.sugar import flip, n_sided_die
+from repro.sampler.harness import Row, format_table, run_row
+from repro.sampler.record import SampleSet, collect
+from repro.sampler.run import FuelExhausted, run_itree
+from repro.stats.distributions import uniform_pmf
+
+S0 = State()
+
+
+class TestDriver:
+    def test_fuel_exhaustion(self):
+        def spin():
+            return Tau(spin)
+
+        with pytest.raises(FuelExhausted):
+            run_itree(Tau(spin), ConstantBits(True), fuel=100)
+
+    def test_fuel_sufficient(self):
+        tree = Vis(lambda b: Ret(b))
+        assert run_itree(tree, ConstantBits(True), fuel=10) is True
+
+    def test_divergent_sampler_with_adversarial_bits(self):
+        # uniform_tree(3) loops forever on the all-False stream (every
+        # attempt walks right-right into the loopback): this is the
+        # probability-0 divergence the paper permits (Section 4.2).
+        tree = tie_itree(to_itree_open(uniform_tree(3)))
+        with pytest.raises(FuelExhausted):
+            run_itree(tree, ConstantBits(False), fuel=1000)
+
+
+class TestCollect:
+    def test_sample_count(self):
+        tree = cpgcl_to_itree(flip("b", Fraction(1, 2)), S0)
+        samples = collect(tree, 100, seed=0)
+        assert len(samples) == 100
+        assert len(samples.bits) == 100
+
+    def test_extract(self):
+        tree = cpgcl_to_itree(flip("b", Fraction(1, 2)), S0)
+        samples = collect(tree, 50, seed=0, extract=lambda s: s["b"])
+        assert all(isinstance(v, bool) for v in samples.values)
+
+    def test_seed_determinism(self):
+        tree = cpgcl_to_itree(n_sided_die(6), S0)
+        a = collect(tree, 200, seed=9, extract=lambda s: s["x"])
+        b = collect(tree, 200, seed=9, extract=lambda s: s["x"])
+        assert a.values == b.values and a.bits == b.bits
+
+    def test_bits_metered_per_sample(self):
+        # A single fair flip consumes exactly one bit per sample.
+        tree = cpgcl_to_itree(flip("b", Fraction(1, 2)), S0)
+        samples = collect(tree, 20, seed=1)
+        assert samples.bits == [1] * 20
+
+    def test_requires_positive_count(self):
+        tree = cpgcl_to_itree(flip("b", Fraction(1, 2)), S0)
+        with pytest.raises(ValueError):
+            collect(tree, 0)
+
+
+class TestSampleSet:
+    def test_statistics(self):
+        samples = SampleSet([1, 2, 3, 4], [5, 5, 7, 7])
+        assert samples.mean() == 2.5
+        assert abs(samples.std() - 1.118033988749895) < 1e-12
+        assert samples.mean_bits() == 6.0
+
+    def test_boolean_values_numeric(self):
+        samples = SampleSet([True, False, True, True], [1, 1, 1, 1])
+        assert samples.mean() == 0.75
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            SampleSet([1], [])
+
+
+class TestHarness:
+    def test_run_row_columns(self):
+        row = run_row(
+            n_sided_die(6),
+            variable="x",
+            param="n=6",
+            true_pmf=uniform_pmf(6, start=1),
+            n=2000,
+            seed=4,
+        )
+        assert isinstance(row, Row)
+        assert 3.0 < row.mean < 4.0
+        assert row.tv is not None and row.tv < 0.1
+        assert row.kl is not None
+        assert 3.0 < row.mean_bits < 4.5  # ~11/3 expected
+        assert row.samples == 2000
+
+    def test_row_without_true_pmf(self):
+        row = run_row(n_sided_die(6), "x", "n=6", n=200, seed=4)
+        assert row.tv is None and row.kl is None and row.smape is None
+
+    def test_format_table_renders(self):
+        row = run_row(
+            n_sided_die(6), "x", "n=6",
+            true_pmf=uniform_pmf(6, start=1), n=500, seed=4,
+        )
+        text = format_table("Table 3 (excerpt)", [row], var_name="x")
+        assert "Table 3" in text
+        assert "n=6" in text
+        assert "mu_bit" in text

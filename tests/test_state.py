@@ -1,0 +1,73 @@
+"""Unit tests for immutable program states (repro.lang.state)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.lang.errors import EvalError
+from repro.lang.state import State
+from tests.strategies import states
+
+
+class TestBasics:
+    def test_unbound_reads_as_zero(self):
+        assert State().get("h") == 0
+
+    def test_strict_unbound_raises(self):
+        with pytest.raises(EvalError):
+            State().get("h", strict=True)
+
+    def test_set_returns_new_state(self):
+        s0 = State()
+        s1 = s0.set("x", 5)
+        assert s0.get("x") == 0
+        assert s1.get("x") == 5
+
+    def test_update_many(self):
+        s = State().update({"a": 1, "b": True})
+        assert s["a"] == 1 and s["b"] is True
+
+    def test_contains_and_len(self):
+        s = State(x=1, b=False)
+        assert "x" in s and "b" in s and "y" not in s
+        assert len(s) == 2
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(TypeError):
+            State(x=0.5)
+
+
+class TestCanonicalization:
+    def test_zero_binding_equals_empty(self):
+        # Unbound variables read as 0, so binding 0 must not distinguish
+        # states (required for finite state spaces in the loop solver).
+        assert State(h=0) == State()
+        assert hash(State(h=0)) == hash(State())
+
+    def test_false_binding_is_kept(self):
+        # False is a *boolean*, not the default integer 0.
+        assert State(b=False) != State()
+
+    def test_integral_fraction_canonicalized(self):
+        assert State(x=Fraction(4, 2)) == State(x=2)
+
+
+class TestHashability:
+    def test_equal_states_equal_hash(self):
+        assert hash(State(x=1, y=2)) == hash(State(y=2, x=1))
+
+    def test_usable_as_dict_key(self):
+        d = {State(x=1): "a"}
+        assert d[State(x=1)] == "a"
+
+    @given(states)
+    def test_set_then_get_roundtrip(self, sigma):
+        updated = sigma.set("q", 42)
+        assert updated.get("q") == 42
+
+    @given(states)
+    def test_immutability_of_source(self, sigma):
+        before = dict(sigma.items())
+        sigma.set("q", 1)
+        assert dict(sigma.items()) == before

@@ -1,0 +1,131 @@
+"""Tests for divergences, true posteriors, and entropy bounds."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.stats.distributions import (
+    bernoulli_exp_pmf,
+    bernoulli_pmf,
+    discrete_gaussian_pmf,
+    discrete_laplace_pmf,
+    geometric_primes_pmf,
+    uniform_pmf,
+)
+from repro.stats.divergence import kl_divergence, smape, tv_distance
+from repro.stats.empirical import empirical_pmf
+from repro.stats.entropy import knuth_yao_bounds, shannon_entropy
+
+
+class TestDivergences:
+    def test_identical_distributions(self):
+        p = {0: 0.5, 1: 0.5}
+        assert tv_distance(p, p) == 0
+        assert kl_divergence(p, p) == 0
+        assert smape(p, p) == 0
+
+    def test_tv_disjoint_support(self):
+        assert tv_distance({0: 1.0}, {1: 1.0}) == 1.0
+
+    def test_tv_known_value(self):
+        p = {0: 0.6, 1: 0.4}
+        q = {0: 0.5, 1: 0.5}
+        assert abs(tv_distance(p, q) - 0.1) < 1e-12
+
+    def test_kl_asymmetric(self):
+        p = {0: 0.9, 1: 0.1}
+        q = {0: 0.5, 1: 0.5}
+        assert kl_divergence(p, q) != kl_divergence(q, p)
+
+    def test_kl_infinite_outside_support(self):
+        assert kl_divergence({0: 0.5, 1: 0.5}, {0: 1.0}) == math.inf
+
+    def test_kl_zero_p_terms_ignored(self):
+        assert kl_divergence({0: 1.0, 1: 0.0}, {0: 1.0, 1: 0.0}) == 0
+
+    def test_smape_bounded_by_one(self):
+        assert smape({0: 1.0}, {1: 1.0}) <= 1.0
+
+    def test_empirical_pmf(self):
+        pmf = empirical_pmf([1, 1, 2, 2, 2, 3])
+        assert pmf == {1: 2 / 6, 2: 3 / 6, 3: 1 / 6}
+
+    def test_empirical_requires_samples(self):
+        with pytest.raises(ValueError):
+            empirical_pmf([])
+
+
+class TestTruePosteriors:
+    def test_bernoulli(self):
+        pmf = bernoulli_pmf(Fraction(2, 3))
+        assert abs(pmf[True] - 2 / 3) < 1e-12
+        assert abs(sum(pmf.values()) - 1) < 1e-12
+
+    def test_uniform(self):
+        pmf = uniform_pmf(6, start=1)
+        assert set(pmf) == {1, 2, 3, 4, 5, 6}
+        assert all(abs(v - 1 / 6) < 1e-12 for v in pmf.values())
+
+    def test_geometric_primes_support_is_prime(self):
+        from repro.lang.builtins import is_prime
+
+        pmf = geometric_primes_pmf(Fraction(2, 3))
+        assert all(is_prime(h) for h in pmf)
+        assert abs(sum(pmf.values()) - 1) < 1e-9
+
+    def test_geometric_primes_paper_means(self):
+        # Table 2's posterior means (the p^h convention; see the module
+        # docstring on the paper's (1-p)^(h+1) typo).
+        for p, mean in [(Fraction(1, 2), 2.64), (Fraction(2, 3), 3.24),
+                        (Fraction(1, 5), 2.19)]:
+            pmf = geometric_primes_pmf(p)
+            mu = sum(h * q for h, q in pmf.items())
+            assert abs(mu - mean) < 0.02, (p, mu)
+
+    def test_bernoulli_exp(self):
+        pmf = bernoulli_exp_pmf(Fraction(1, 2))
+        assert abs(pmf[True] - math.exp(-0.5)) < 1e-12
+
+    def test_discrete_laplace_symmetric(self):
+        pmf = discrete_laplace_pmf(1, 2)
+        assert abs(sum(pmf.values()) - 1) < 1e-9
+        for x in range(1, 5):
+            assert abs(pmf[x] - pmf[-x]) < 1e-12
+
+    def test_discrete_laplace_rate(self):
+        # P(x+1)/P(x) = exp(-s/t) for x >= 0.
+        pmf = discrete_laplace_pmf(2, 1)
+        assert abs(pmf[1] / pmf[0] - math.exp(-2)) < 1e-9
+
+    def test_discrete_gaussian_moments(self):
+        pmf = discrete_gaussian_pmf(10, 2)
+        mean = sum(x * q for x, q in pmf.items())
+        var = sum((x - mean) ** 2 * q for x, q in pmf.items())
+        assert abs(mean - 10) < 1e-9
+        assert abs(var - 4) < 0.05  # discrete variance ~ sigma^2
+
+    def test_discrete_gaussian_negative_mean(self):
+        pmf = discrete_gaussian_pmf(-50, 5)
+        mean = sum(x * q for x, q in pmf.items())
+        assert abs(mean + 50) < 1e-9
+
+
+class TestEntropy:
+    def test_uniform_entropy(self):
+        assert abs(shannon_entropy(uniform_pmf(8)) - 3.0) < 1e-12
+
+    def test_paper_table3_entropies(self):
+        # Table 3 cites H = 2.59, 7.64, 13.29 for n = 6, 200, 10000.
+        for n, h in [(6, 2.59), (200, 7.64), (10000, 13.29)]:
+            assert abs(shannon_entropy(uniform_pmf(n)) - h) < 0.01
+
+    def test_knuth_yao_band(self):
+        low, high = knuth_yao_bounds(uniform_pmf(6))
+        assert high - low == 2.0
+        # The pipeline's 11/3 expected flips land inside the band.
+        assert low <= 11 / 3 < high
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            shannon_entropy({0: -0.5, 1: 1.5})

@@ -1,0 +1,104 @@
+"""Unit tests for derived commands and paper programs (repro.lang.sugar)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.expr import Lit
+from repro.lang.state import State
+from repro.lang.sugar import (
+    bernoulli_exponential,
+    bernoulli_exponential_0_1,
+    dueling_coins,
+    flip,
+    gaussian,
+    geometric_primes,
+    hare_tortoise,
+    laplace,
+    n_sided_die,
+)
+from repro.lang.syntax import Assign, Choice
+from repro.lang.typecheck import check_program
+
+
+class TestFlip:
+    def test_shape(self):
+        command = flip("x", Fraction(2, 3))
+        assert isinstance(command, Choice)
+        assert command.prob == Lit(Fraction(2, 3))
+        assert command.left == Assign("x", True)
+        assert command.right == Assign("x", False)
+
+
+class TestPaperProgramsWellFormed:
+    """Every paper program passes the static checker without errors."""
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            geometric_primes(Fraction(2, 3)),
+            dueling_coins(Fraction(4, 5)),
+            n_sided_die(6),
+            bernoulli_exponential_0_1("out", Fraction(1, 2)),
+            bernoulli_exponential("out", Fraction(3, 2)),
+            laplace("out", 1, 2),
+            gaussian("z", 0, 1),
+            hare_tortoise(Lit(True)),
+        ],
+    )
+    def test_checker_ok(self, program):
+        report = check_program(program, strict=True)
+        assert report.ok
+
+    def test_die_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            n_sided_die(0)
+
+    def test_laplace_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            laplace("out", 0, 2)
+
+    def test_gaussian_rejects_nonpositive_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian("z", 0, 0)
+
+
+class TestNamespacing:
+    def test_helper_variables_prefixed(self):
+        program = bernoulli_exponential_0_1("out", Fraction(1, 2), ns="q_")
+        assigned = program.assigned_vars()
+        assert "q_k" in assigned and "q_a" in assigned
+        assert "k" not in assigned and "a" not in assigned
+
+    def test_out_variable_not_prefixed(self):
+        program = bernoulli_exponential_0_1("out", Fraction(1, 2), ns="q_")
+        assert "out" in program.assigned_vars()
+
+
+class TestClobberSets:
+    def test_laplace_clobbers_documented_variables(self):
+        program = laplace("out", 1, 2)
+        assigned = program.assigned_vars()
+        # The paper's Figure 12 lists the helper variables explicitly.
+        for name in ("u", "d", "v", "il", "x", "y", "c", "lp", "k", "a"):
+            assert name in assigned, name
+
+    def test_hare_tortoise_main_variables(self):
+        program = hare_tortoise(Lit(True))
+        assigned = program.assigned_vars()
+        for name in ("t0", "tortoise", "hare", "time", "jump"):
+            assert name in assigned, name
+
+
+class TestInitialStateIndependence:
+    def test_geometric_primes_resets_nothing_it_reads(self):
+        # h reads as 0 initially by the unbound-variable convention; the
+        # program must not depend on other preexisting bindings.
+        from repro.semantics.wp import wp
+
+        program = geometric_primes(Fraction(1, 2))
+        value_a = wp(program, lambda s: 1 if s["h"] == 2 else 0, State())
+        value_b = wp(
+            program, lambda s: 1 if s["h"] == 2 else 0, State(unrelated=9)
+        )
+        assert value_a == value_b

@@ -1,0 +1,88 @@
+"""Unit tests for the command AST (repro.lang.syntax)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.expr import Lit, Var
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+    seq,
+)
+
+
+class TestConstruction:
+    def test_assign_requires_name(self):
+        with pytest.raises(TypeError):
+            Assign("", Lit(1))
+
+    def test_seq_requires_commands(self):
+        with pytest.raises(TypeError):
+            Seq(Skip(), "not a command")
+
+    def test_rshift_sugar(self):
+        program = Assign("x", Lit(1)) >> Skip()
+        assert program == Seq(Assign("x", Lit(1)), Skip())
+
+    def test_uniform_requires_name(self):
+        with pytest.raises(TypeError):
+            Uniform(Lit(6), "")
+
+
+class TestSeqHelper:
+    def test_empty_is_skip(self):
+        assert seq([]) == Skip()
+
+    def test_singleton(self):
+        c = Assign("x", Lit(1))
+        assert seq([c]) == c
+
+    def test_right_fold(self):
+        a, b, c = Skip(), Assign("x", Lit(1)), Observe(Lit(True))
+        assert seq([a, b, c]) == Seq(a, Seq(b, c))
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        left = Choice(Fraction(1, 2), Skip(), Assign("x", Lit(1)))
+        right = Choice(Fraction(1, 2), Skip(), Assign("x", Lit(1)))
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_inequality(self):
+        assert Choice(Fraction(1, 2), Skip(), Skip()) != Choice(
+            Fraction(1, 3), Skip(), Skip()
+        )
+
+
+class TestVariableAnalysis:
+    def test_free_vars(self):
+        program = Seq(
+            Assign("x", Var("y") + 1),
+            While(Var("b"), Assign("z", Var("x"))),
+        )
+        assert program.free_vars() == {"y", "b", "x"}
+
+    def test_assigned_vars(self):
+        program = Seq(
+            Assign("x", Lit(1)),
+            Ite(Lit(True), Assign("y", Lit(2)), Uniform(Lit(3), "u")),
+        )
+        assert program.assigned_vars() == {"x", "y", "u"}
+
+    def test_observe_assigns_nothing(self):
+        assert Observe(Var("b")).assigned_vars() == frozenset()
+
+
+class TestImmutability:
+    def test_cannot_mutate(self):
+        command = Assign("x", Lit(1))
+        with pytest.raises(AttributeError):
+            command.name = "y"

@@ -1,0 +1,200 @@
+"""Tests for source-level optimization passes (repro.lang.transform)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.lang.expr import Lit, Var
+from repro.lang.state import State
+from repro.lang.sugar import flip
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.lang.transform import (
+    dead_assignment_elimination,
+    optimize,
+    simplify_control,
+    unroll_loops,
+)
+from repro.semantics.expectation import indicator
+from repro.semantics.wp import wlp, wp
+from tests.strategies import loop_free_command, states
+
+S0 = State()
+
+
+class TestSimplifyControl:
+    def test_if_true(self):
+        program = Ite(Lit(True), Assign("x", Lit(1)), Assign("x", Lit(2)))
+        assert simplify_control(program) == Assign("x", Lit(1))
+
+    def test_while_false(self):
+        assert simplify_control(While(Lit(False), Skip())) == Skip()
+
+    def test_observe_true_dropped(self):
+        assert simplify_control(Observe(Lit(True))) == Skip()
+
+    def test_observe_false_kept(self):
+        # observe false is *not* skip -- it conditions on the impossible.
+        program = Observe(Lit(False))
+        assert simplify_control(program) == program
+
+    def test_certain_choice(self):
+        program = Choice(Lit(1), Assign("x", Lit(1)), Assign("x", Lit(2)))
+        assert simplify_control(program) == Assign("x", Lit(1))
+
+    def test_duplicate_branches(self):
+        program = Choice(Fraction(1, 3), Skip(), Skip())
+        assert simplify_control(program) == Skip()
+
+    def test_skip_units(self):
+        program = Seq(Skip(), Seq(Assign("x", Lit(1)), Skip()))
+        assert simplify_control(program) == Assign("x", Lit(1))
+
+    @given(loop_free_command(3), states)
+    def test_preserves_wp(self, command, sigma):
+        f = indicator(lambda s: s["x"] > 0)
+        simplified = simplify_control(command)
+        assert wp(simplified, f, sigma) == wp(command, f, sigma)
+        assert wlp(simplified, f, sigma) == wlp(command, f, sigma)
+
+
+class TestUnrollLoops:
+    def test_counted_loop_unrolls(self):
+        program = Seq(
+            Assign("i", Lit(0)),
+            While(Var("i") < 3, Assign("i", Var("i") + 1)),
+        )
+        unrolled = unroll_loops(program)
+        assert "While" not in repr(unrolled)
+        assert wp(unrolled, lambda s: s["i"], S0) == wp(
+            program, lambda s: s["i"], S0
+        )
+
+    def test_random_guard_not_unrolled(self):
+        program = Seq(
+            Assign("b", Lit(True)),
+            While(Var("b"), flip("b", Fraction(1, 2))),
+        )
+        assert "While" in repr(unroll_loops(program))
+
+    def test_budget_respected(self):
+        program = Seq(
+            Assign("i", Lit(0)),
+            While(Var("i") < 100, Assign("i", Var("i") + 1)),
+        )
+        assert "While" in repr(unroll_loops(program, max_unroll=10))
+        assert "While" not in repr(unroll_loops(program, max_unroll=200))
+
+    def test_guard_untouched_by_random_body_still_unrolls(self):
+        # The body flips a coin but the guard counter is deterministic.
+        program = Seq(
+            Assign("i", Lit(0)),
+            While(
+                Var("i") < 2,
+                Seq(flip("c", Fraction(1, 2)), Assign("i", Var("i") + 1)),
+            ),
+        )
+        unrolled = unroll_loops(program)
+        assert "While" not in repr(unrolled)
+        f = indicator(lambda s: s["c"] is True)
+        assert wp(unrolled, f, S0) == wp(program, f, S0)
+
+    def test_unrolled_program_gets_exact_loop_free_inference(self):
+        program = Seq(
+            Assign("i", Lit(0)),
+            While(
+                Var("i") < 4,
+                Seq(
+                    Choice(
+                        Fraction(1, 2),
+                        Assign("n", Var("n") + 1),
+                        Skip(),
+                    ),
+                    Assign("i", Var("i") + 1),
+                ),
+            ),
+        )
+        unrolled = unroll_loops(program)
+        assert "While" not in repr(unrolled)
+        # E[n] = 2 exactly, computed loop-free.
+        assert wp(unrolled, lambda s: s["n"], S0) == 2
+
+
+class TestDeadAssignments:
+    def test_removes_unread_write(self):
+        program = Seq(Assign("tmp", Lit(42)), Assign("x", Lit(1)))
+        cleaned = dead_assignment_elimination(program, outputs={"x"})
+        assert cleaned == Assign("x", Lit(1))
+
+    def test_keeps_read_write(self):
+        program = Seq(Assign("tmp", Lit(42)), Assign("x", Var("tmp")))
+        cleaned = dead_assignment_elimination(program, outputs={"x"})
+        assert cleaned == program
+
+    def test_keeps_uniform_draws(self):
+        # Dead uniform draws still consume entropy: preserved.
+        program = Seq(Uniform(Lit(6), "waste"), Assign("x", Lit(1)))
+        cleaned = dead_assignment_elimination(program, outputs={"x"})
+        assert cleaned == program
+
+    def test_loop_carried_liveness(self):
+        # `acc` looks dead inside one pass but feeds itself across
+        # iterations into the output.
+        program = Seq(
+            Assign("i", Lit(0)),
+            Seq(
+                While(
+                    Var("i") < 3,
+                    Seq(
+                        Assign("acc", Var("acc") + Var("i")),
+                        Assign("i", Var("i") + 1),
+                    ),
+                ),
+                Assign("x", Var("acc")),
+            ),
+        )
+        cleaned = dead_assignment_elimination(program, outputs={"x"})
+        f = lambda s: s["x"]
+        assert wp(cleaned, f, S0) == wp(program, f, S0) == 3
+
+    @given(loop_free_command(3), states)
+    def test_preserves_wp_over_outputs(self, command, sigma):
+        f = indicator(lambda s: s["x"] > 0)
+        cleaned = dead_assignment_elimination(command, outputs={"x"})
+        assert wp(cleaned, f, sigma) == wp(command, f, sigma)
+
+
+class TestOptimizePipeline:
+    @given(loop_free_command(3), states)
+    def test_full_pipeline_preserves_semantics(self, command, sigma):
+        f = indicator(lambda s: s["x"] > 0)
+        optimized = optimize(command, outputs={"x"})
+        assert wp(optimized, f, sigma) == wp(command, f, sigma)
+
+    def test_bounded_program_becomes_loop_free_and_smaller(self):
+        program = Seq(
+            Assign("i", Lit(0)),
+            Seq(
+                While(
+                    Var("i") < 3,
+                    Seq(
+                        Choice(Fraction(1, 2), Assign("n", Var("n") + 1), Skip()),
+                        Assign("i", Var("i") + 1),
+                    ),
+                ),
+                Observe(Lit(True)),
+            ),
+        )
+        optimized = optimize(program, outputs={"n"})
+        assert "While" not in repr(optimized)
+        assert "Observe" not in repr(optimized)
+        assert wp(optimized, lambda s: s["n"], S0) == Fraction(3, 2)

@@ -1,0 +1,103 @@
+"""Unit tests for the static checker (repro.lang.typecheck)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.errors import TypeCheckError
+from repro.lang.expr import Lit, Var
+from repro.lang.sugar import flip
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.lang.typecheck import check_program
+
+
+class TestProbabilityChecks:
+    def test_literal_out_of_range(self):
+        program = Choice(Fraction(3, 2), Skip(), Skip())
+        with pytest.raises(TypeCheckError):
+            check_program(program)
+
+    def test_literal_in_range_ok(self):
+        report = check_program(flip("b", Fraction(2, 3)))
+        assert report.ok
+
+    def test_boolean_probability_rejected(self):
+        program = Choice(Lit(True), Skip(), Skip())
+        with pytest.raises(TypeCheckError):
+            check_program(program)
+
+    def test_dynamic_probability_warns(self):
+        program = Seq(
+            Assign("p", Lit(Fraction(1, 2))),
+            Choice(Var("p"), Skip(), Skip()),
+        )
+        report = check_program(program)
+        assert report.ok
+        assert any("dynamically" in w for w in report.warnings)
+
+
+class TestUniformChecks:
+    def test_zero_range_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(Uniform(Lit(0), "x"))
+
+    def test_non_integer_range_rejected(self):
+        with pytest.raises(TypeCheckError):
+            check_program(Uniform(Lit(Fraction(1, 2)), "x"))
+
+    def test_positive_range_ok(self):
+        assert check_program(Uniform(Lit(6), "x")).ok
+
+
+class TestDefiniteAssignment:
+    def test_read_before_assign_warns(self):
+        report = check_program(Assign("y", Var("x")))
+        assert report.ok
+        assert any("'x'" in w for w in report.warnings)
+
+    def test_assign_then_read_clean(self):
+        program = Seq(Assign("x", Lit(1)), Assign("y", Var("x")))
+        assert check_program(program).warnings == []
+
+    def test_branches_meet(self):
+        # x is assigned in only one branch: reading it afterwards warns.
+        program = Seq(
+            Ite(Lit(True), Assign("x", Lit(1)), Skip()),
+            Observe(Var("x").eq(1)),
+        )
+        report = check_program(program)
+        assert any("'x'" in w for w in report.warnings)
+
+    def test_both_branches_assign(self):
+        program = Seq(
+            Ite(Lit(True), Assign("x", Lit(1)), Assign("x", Lit(2))),
+            Observe(Var("x").eq(1)),
+        )
+        assert check_program(program).warnings == []
+
+    def test_loop_body_not_definite(self):
+        # The loop may run zero times.
+        program = Seq(
+            While(Lit(False), Assign("x", Lit(1))),
+            Observe(Var("x").eq(1)),
+        )
+        report = check_program(program)
+        assert any("'x'" in w for w in report.warnings)
+
+    def test_uniform_assigns(self):
+        program = Seq(Uniform(Lit(6), "m"), Assign("x", Var("m")))
+        assert check_program(program).warnings == []
+
+    def test_strict_false_returns_errors(self):
+        program = Choice(Fraction(3, 2), Skip(), Skip())
+        report = check_program(program, strict=False)
+        assert not report.ok and report.errors

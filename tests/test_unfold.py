@@ -1,0 +1,117 @@
+"""Tests for ITree generation (Definitions 3.11-3.13)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bits.source import ReplayBits, SystemBits
+from repro.cftree.tree import Choice, Fail, Fix, LOOPBACK, Leaf
+from repro.cftree.uniform import bernoulli_tree, uniform_tree
+from repro.itree.itree import Left, Ret, Right
+from repro.itree.unfold import (
+    BiasedChoiceError,
+    cpgcl_to_itree,
+    open_pipeline,
+    tie_itree,
+    to_itree_open,
+)
+from repro.lang.expr import Lit, Var
+from repro.lang.state import State
+from repro.lang.sugar import flip, geometric_primes
+from repro.lang.syntax import Observe, Seq
+from repro.sampler.run import run_itree, run_with_bits
+
+S0 = State()
+
+
+class TestToItreeOpen:
+    def test_leaf_is_inr(self):
+        assert run_with_bits(to_itree_open(Leaf(7)), [])[0] == Right(7)
+
+    def test_fail_is_inl(self):
+        # Figure 5a: observation failure is a *terminal* of the open tree.
+        assert run_with_bits(to_itree_open(Fail()), [])[0] == Left(())
+
+    def test_fair_choice_consumes_one_bit(self):
+        tree = to_itree_open(Choice(Fraction(1, 2), Leaf("L"), Leaf("R")))
+        value, used = run_with_bits(tree, [True])
+        assert value == Right("L") and used == 1
+        value, used = run_with_bits(tree, [False])
+        assert value == Right("R") and used == 1
+
+    def test_biased_choice_rejected(self):
+        # Definition 3.11 is stated for unbiased trees only.
+        with pytest.raises(BiasedChoiceError):
+            run_with_bits(
+                to_itree_open(Choice(Fraction(2, 3), Leaf(1), Leaf(0))), [True]
+            )
+
+    def test_fix_loops_until_exit(self):
+        tree = to_itree_open(uniform_tree(3))
+        # uniform_tree(3) pairs leaves as ((0,1), (2, LOOPBACK)) and a
+        # True bit selects the left branch (the paper's "heads"), so the
+        # all-False path reaches the loopback and restarts the flips.
+        value, used = run_with_bits(tree, [False, False, False, True])
+        assert value == Right(2)
+        assert used == 4
+
+
+class TestTieItree:
+    def test_restarts_on_failure(self):
+        # Flip fair; observe it came up heads: tails paths restart.
+        command = Seq(flip("b", Fraction(1, 2)), Observe(Var("b")))
+        tied = cpgcl_to_itree(command, S0)
+        value, used = run_with_bits(tied, [False, False, True])
+        assert value["b"] is True
+        assert used == 3  # two rejected attempts consumed a bit each
+
+    def test_success_passes_through(self):
+        command = Seq(flip("b", Fraction(1, 2)), Observe(Var("b")))
+        tied = cpgcl_to_itree(command, S0)
+        value, used = run_with_bits(tied, [True])
+        assert value["b"] is True and used == 1
+
+    def test_tie_of_pure_success(self):
+        tied = tie_itree(Ret(Right("ok")))
+        assert run_with_bits(tied, [])[0] == "ok"
+
+
+class TestPipeline:
+    def test_samples_are_terminal_states(self):
+        tree = cpgcl_to_itree(geometric_primes(Fraction(1, 2)), S0)
+        value = run_itree(tree, SystemBits(0))
+        assert isinstance(value, State)
+        from repro.lang.builtins import is_prime
+
+        assert is_prime(value["h"])
+
+    def test_eliminate_flag_preserves_distribution(self):
+        command = geometric_primes(Fraction(1, 2))
+        with_elim = cpgcl_to_itree(command, S0, eliminate=True)
+        without = cpgcl_to_itree(command, S0, eliminate=False)
+        a = [run_itree(with_elim, SystemBits(7))["h"] for _ in range(500)]
+        b = [run_itree(without, SystemBits(7))["h"] for _ in range(500)]
+        # Same seed need not give identical streams (tree shapes differ),
+        # but means should agree loosely.
+        assert abs(sum(a) / 500 - sum(b) / 500) < 0.6
+
+    def test_open_pipeline_exposes_failure(self):
+        command = Seq(flip("b", Fraction(1, 2)), Observe(Var("b")))
+        opened = open_pipeline(command, S0)
+        assert run_with_bits(opened, [False])[0] == Left(())
+
+    def test_deterministic_replay(self):
+        tree = cpgcl_to_itree(geometric_primes(Fraction(1, 2)), S0)
+        bits = [bool((i * 7 + 3) % 5 % 2) for i in range(200)]
+        first = run_with_bits(tree, bits)
+        second = run_with_bits(tree, bits)
+        assert first == second
+
+
+class TestSamplerAsFunctionOnCantorSpace:
+    def test_result_depends_only_on_consumed_prefix(self):
+        tree = tie_itree(to_itree_open(bernoulli_tree(Fraction(2, 3))))
+        value, used = run_with_bits(tree, [False, True, True, False])
+        extended = [False, True, True, False] + [True] * 8
+        value2, used2 = run_with_bits(tree, extended)
+        assert value == value2 and used == used2

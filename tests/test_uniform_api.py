@@ -1,0 +1,60 @@
+"""Tests for the high-assurance uniform package (Section 5.3)."""
+
+import pytest
+
+from repro.bits.source import ReplayBits, SystemBits
+from repro.uniform.api import ZarUniform, uniform_int, uniform_ints
+
+
+class TestZarUniform:
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            ZarUniform(0)
+
+    def test_construction_validates_lemma(self):
+        # validate=True checks every outcome's twp mass exactly.
+        die = ZarUniform(6, validate=True)
+        assert die.n == 6
+
+    def test_samples_in_range(self):
+        die = ZarUniform(10, seed=0)
+        values = die.samples(500)
+        assert all(0 <= v < 10 for v in values)
+
+    def test_seeded_determinism(self):
+        assert ZarUniform(6, seed=5).samples(50) == ZarUniform(6, seed=5).samples(50)
+
+    def test_explicit_source(self):
+        die = ZarUniform(4, validate=True)
+        # uniform_tree(4) is two fair bits; True selects the left branch
+        # (the paper's "heads"), so True,False lands on outcome 1.
+        assert die.sample(ReplayBits([True, False])) == 1
+        assert die.sample(ReplayBits([False, True])) == 2
+
+    def test_bits_consumed_metered(self):
+        die = ZarUniform(8, seed=1)
+        die.samples(10)
+        assert die.bits_consumed == 30  # exactly 3 bits each, no rejection
+
+    def test_stream(self):
+        die = ZarUniform(6, seed=2)
+        stream = die.stream()
+        values = [next(stream) for _ in range(20)]
+        assert len(values) == 20
+
+    def test_distribution_roughly_uniform(self):
+        die = ZarUniform(6, seed=3)
+        values = die.samples(12000)
+        for outcome in range(6):
+            share = values.count(outcome) / len(values)
+            assert abs(share - 1 / 6) < 0.02
+
+
+class TestConvenience:
+    def test_uniform_int(self):
+        assert 0 <= uniform_int(12, seed=0) < 12
+
+    def test_uniform_ints(self):
+        values = uniform_ints(5, 100, seed=0)
+        assert len(values) == 100
+        assert set(values) <= set(range(5))

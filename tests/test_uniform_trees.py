@@ -1,0 +1,126 @@
+"""Tests for uniform_tree / bernoulli_tree (Lemma 3.6, Appendix A)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cftree.analysis import expected_bits, is_unbiased
+from repro.cftree.semantics import twp
+from repro.cftree.tree import Choice, Fix, LOOPBACK, Leaf
+from repro.cftree.uniform import (
+    bernoulli_tree,
+    perfect_tree,
+    rejection_tree,
+    uniform_tree,
+)
+from repro.semantics.extreal import ExtReal
+from repro.verify.theorems import check_uniform_tree
+from tests.strategies import strict_probabilities
+
+
+class TestUniformTree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7, 8, 13, 64, 200])
+    def test_lemma_3_6_point_masses(self, n):
+        check_uniform_tree(n)
+
+    def test_lemma_3_6_general_expectation(self):
+        check_uniform_tree(6, f=lambda i: i * i)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            uniform_tree(0)
+
+    def test_power_of_two_has_no_loop(self):
+        assert not isinstance(uniform_tree(8), Fix)
+
+    def test_non_power_of_two_has_loop(self):
+        assert isinstance(uniform_tree(6), Fix)
+
+    def test_all_unbiased(self):
+        for n in (2, 3, 6, 200):
+            assert is_unbiased(uniform_tree(n))
+
+    @given(st.integers(min_value=1, max_value=50))
+    def test_masses_sum_to_one(self, n):
+        total = twp(uniform_tree(n), lambda v: 1)
+        assert total == ExtReal(1)
+
+
+class TestBernoulliTree:
+    @given(strict_probabilities)
+    def test_exact_bias(self, p):
+        tree = bernoulli_tree(p)
+        assert twp(tree, lambda b: 1 if b else 0) == ExtReal(p)
+
+    @given(strict_probabilities)
+    def test_unbiased(self, p):
+        assert is_unbiased(bernoulli_tree(p))
+
+    def test_degenerate_biases(self):
+        assert bernoulli_tree(0) == Leaf(False)
+        assert bernoulli_tree(1) == Leaf(True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bernoulli_tree(Fraction(5, 4))
+
+    def test_figure_4b_shape(self):
+        # p = 2/3 with full coalescing gives exactly the tree of Fig 4b:
+        # true at depth 1, false and loopback at depth 2.
+        tree = bernoulli_tree(Fraction(2, 3), coalesce="full")
+        assert isinstance(tree, Fix)
+        flips = tree.body(LOOPBACK)
+        assert flips == Choice(
+            Fraction(1, 2),
+            Leaf(True),
+            Choice(Fraction(1, 2), Leaf(False), Leaf(LOOPBACK)),
+        )
+
+    def test_loopback_mode_keeps_outcome_copies(self):
+        # The paper's implementation (default): both true-leaves stay at
+        # depth 2, giving 8/3 expected flips instead of 2.
+        default = bernoulli_tree(Fraction(2, 3), coalesce="loopback")
+        full = bernoulli_tree(Fraction(2, 3), coalesce="full")
+        assert expected_bits(default) == ExtReal(Fraction(8, 3))
+        assert expected_bits(full) == ExtReal(2)
+
+    def test_caching_returns_same_object(self):
+        assert bernoulli_tree(Fraction(2, 3)) is bernoulli_tree(Fraction(2, 3))
+
+
+class TestExpectedBits:
+    """The entropy figures the paper measures (Tables 1 and 3)."""
+
+    def test_die_6_is_11_thirds(self):
+        assert expected_bits(uniform_tree(6)) == ExtReal(Fraction(11, 3))
+
+    def test_die_200_is_9(self):
+        assert expected_bits(uniform_tree(200)) == ExtReal(9)
+
+    def test_power_of_two_is_log(self):
+        assert expected_bits(uniform_tree(8)) == ExtReal(3)
+
+    def test_coalescing_never_hurts(self):
+        for n in (3, 5, 6, 7, 11, 200):
+            loopback = expected_bits(uniform_tree(n, coalesce="loopback"))
+            none = expected_bits(
+                rejection_tree([Leaf(i) for i in range(n)], coalesce="none")
+            )
+            assert loopback <= none
+
+
+class TestPerfectTree:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            perfect_tree([Leaf(0), Leaf(1), Leaf(2)])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            perfect_tree([Leaf(0), Leaf(1)], coalesce="everything")
+
+    def test_preserves_masses(self):
+        leaves = [Leaf(i % 3) for i in range(8)]
+        tree = perfect_tree(leaves, coalesce="full")
+        mass0 = twp(tree, lambda v: 1 if v == 0 else 0)
+        assert mass0 == ExtReal(Fraction(3, 8))

@@ -1,0 +1,85 @@
+"""Unit tests for program values (repro.lang.values)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.values import (
+    as_bool,
+    as_fraction,
+    as_int,
+    is_value,
+    kind_of,
+    normalize,
+    value_eq,
+)
+
+
+class TestIsValue:
+    def test_accepts_bool_int_fraction(self):
+        assert is_value(True)
+        assert is_value(0)
+        assert is_value(Fraction(2, 3))
+
+    def test_rejects_float_str_none(self):
+        assert not is_value(0.5)
+        assert not is_value("x")
+        assert not is_value(None)
+
+
+class TestKindOf:
+    def test_bool_before_int(self):
+        # bool is a subclass of int in Python; kinds must not conflate them.
+        assert kind_of(True) == "bool"
+        assert kind_of(1) == "int"
+
+    def test_rational(self):
+        assert kind_of(Fraction(1, 2)) == "rational"
+
+    def test_rejects_non_values(self):
+        with pytest.raises(TypeError):
+            kind_of(1.5)
+
+
+class TestNormalize:
+    def test_integral_fraction_becomes_int(self):
+        result = normalize(Fraction(4, 2))
+        assert result == 2
+        assert isinstance(result, int)
+        assert not isinstance(result, Fraction)
+
+    def test_proper_fraction_unchanged(self):
+        assert normalize(Fraction(1, 3)) == Fraction(1, 3)
+
+    def test_bool_unchanged(self):
+        assert normalize(True) is True
+
+
+class TestValueEq:
+    def test_bool_not_equal_to_int(self):
+        assert not value_eq(True, 1)
+        assert not value_eq(0, False)
+
+    def test_int_equals_fraction(self):
+        assert value_eq(2, Fraction(2))
+
+    def test_bools(self):
+        assert value_eq(True, True)
+        assert not value_eq(True, False)
+
+
+class TestCoercions:
+    def test_as_fraction_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_as_int_accepts_integral_fraction(self):
+        assert as_int(Fraction(6, 3)) == 2
+
+    def test_as_int_rejects_proper_fraction(self):
+        with pytest.raises(TypeError):
+            as_int(Fraction(1, 2))
+
+    def test_as_bool_rejects_numbers(self):
+        with pytest.raises(TypeError):
+            as_bool(1)

@@ -1,0 +1,73 @@
+"""Tests for tree rendering (repro.cftree.viz)."""
+
+from fractions import Fraction
+
+from repro.cftree.tree import Choice, Fail, Leaf
+from repro.cftree.uniform import bernoulli_tree, uniform_tree
+from repro.cftree.viz import cftree_to_dot, render_cftree, render_itree
+from repro.itree.itree import Ret, Tau, Vis
+from repro.itree.unfold import tie_itree, to_itree_open
+
+
+class TestRenderCFTree:
+    def test_leaf_and_fail(self):
+        assert render_cftree(Leaf(3)) == "Leaf 3"
+        assert render_cftree(Fail()) == "Fail"
+
+    def test_choice_structure(self):
+        tree = Choice(Fraction(2, 3), Leaf(1), Fail())
+        text = render_cftree(tree)
+        assert "Choice 2/3" in text
+        assert "1:Leaf 1" in text.replace(" ", "")
+        assert "0:Fail" in text.replace(" ", "")
+
+    def test_depth_truncation(self):
+        tree = uniform_tree(8)
+        text = render_cftree(tree, max_depth=1)
+        assert "..." in text
+
+    def test_fix_unfolding(self):
+        tree = bernoulli_tree(Fraction(2, 3))
+        closed = render_cftree(tree)
+        assert "Fix" in closed and "Choice" not in closed
+        opened = render_cftree(tree, unfold_fix=True)
+        assert "Choice 1/2" in opened
+
+
+class TestRenderITree:
+    def test_ret(self):
+        assert render_itree(Ret(7)) == "Ret 7"
+
+    def test_tau_collapsed(self):
+        assert render_itree(Tau(lambda: Ret(1))) == "Ret 1"
+
+    def test_vis_branches(self):
+        tree = Vis(lambda b: Ret("H" if b else "T"))
+        text = render_itree(tree)
+        assert "Vis GetBool" in text
+        assert "Ret H" in text and "Ret T" in text
+
+    def test_bit_budget(self):
+        tree = tie_itree(to_itree_open(bernoulli_tree(Fraction(2, 3))))
+        text = render_itree(tree, max_bits=3)
+        assert "..." in text  # the rejection loop exceeds 3 bits
+
+    def test_silent_divergence_marked(self):
+        def spin():
+            return Tau(spin)
+
+        text = render_itree(Tau(spin), max_taus=32)
+        assert "diverges" in text
+
+
+class TestDot:
+    def test_dot_structure(self):
+        tree = Choice(Fraction(1, 2), Leaf(1), Fail())
+        dot = cftree_to_dot(tree)
+        assert dot.startswith("digraph")
+        assert 'label="FAIL"' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_fix_rendered_as_doublecircle(self):
+        dot = cftree_to_dot(uniform_tree(3))
+        assert "doublecircle" in dot

@@ -1,0 +1,152 @@
+"""Unit tests for the wp/wlp transformers (Definitions 2.2/2.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.lang.errors import ProbabilityRangeError, UniformRangeError
+from repro.lang.expr import Lit, Var
+from repro.lang.state import State
+from repro.lang.sugar import dueling_coins, flip, geometric_primes
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+from repro.semantics.expectation import indicator
+from repro.semantics.extreal import INFINITY, ExtReal
+from repro.semantics.fixpoint import LoopOptions
+from repro.semantics.wp import wlp, wp
+
+S0 = State()
+
+
+def prob(command, pred, sigma=S0, **kw):
+    return wp(command, indicator(pred), sigma, **kw)
+
+
+class TestStructuralRules:
+    def test_skip(self):
+        assert wp(Skip(), lambda s: s["x"], State(x=3)) == ExtReal(3)
+
+    def test_assign_substitution(self):
+        command = Assign("x", Var("x") + 1)
+        assert wp(command, lambda s: s["x"], State(x=3)) == ExtReal(4)
+
+    def test_seq_composes(self):
+        command = Seq(Assign("x", Lit(1)), Assign("y", Var("x") + 1))
+        assert wp(command, lambda s: s["y"], S0) == ExtReal(2)
+
+    def test_ite(self):
+        command = Ite(Var("x") < 0, Assign("y", Lit(1)), Assign("y", Lit(2)))
+        assert wp(command, lambda s: s["y"], State(x=-5)) == ExtReal(1)
+        assert wp(command, lambda s: s["y"], State(x=5)) == ExtReal(2)
+
+    def test_choice_mixes(self):
+        command = Choice(Fraction(1, 3), Assign("x", Lit(1)), Assign("x", Lit(0)))
+        assert wp(command, lambda s: s["x"], S0) == ExtReal(Fraction(1, 3))
+
+    def test_state_dependent_probability(self):
+        command = Choice(Var("p"), Assign("x", Lit(1)), Assign("x", Lit(0)))
+        sigma = State(p=Fraction(3, 4))
+        assert wp(command, lambda s: s["x"], sigma) == ExtReal(Fraction(3, 4))
+
+    def test_uniform_averages(self):
+        command = Uniform(Lit(4), "m")
+        assert wp(command, lambda s: s["m"], S0) == ExtReal(Fraction(3, 2))
+
+    def test_observe_true_passes(self):
+        assert prob(Observe(Lit(True)), lambda s: True) == ExtReal(1)
+
+    def test_observe_false_zero_mass(self):
+        assert prob(Observe(Lit(False)), lambda s: True) == ExtReal(0)
+
+    def test_observe_flag_counts_failure(self):
+        value = wp(Observe(Lit(False)), lambda s: 0, S0, flag=True)
+        assert value == ExtReal(1)
+
+    def test_infinite_post_expectation(self):
+        command = Choice(Fraction(1, 2), Skip(), Skip())
+        value = wp(command, lambda s: INFINITY, S0)
+        assert value.is_infinite
+
+
+class TestSideConditions:
+    def test_probability_out_of_range(self):
+        command = Choice(Var("p"), Skip(), Skip())
+        with pytest.raises(ProbabilityRangeError):
+            wp(command, lambda s: 1, State(p=2))
+
+    def test_uniform_range_positive(self):
+        with pytest.raises(UniformRangeError):
+            wp(Uniform(Lit(0), "m"), lambda s: 1, S0)
+
+
+class TestLoops:
+    def test_false_guard_is_skip(self):
+        command = While(Lit(False), Assign("x", Lit(9)))
+        assert wp(command, lambda s: s["x"], State(x=1)) == ExtReal(1)
+
+    def test_bounded_loop_exact(self):
+        # while x < 5 { x := x + 1 }: terminates in 5 steps.
+        command = While(Var("x") < 5, Assign("x", Var("x") + 1))
+        assert wp(command, lambda s: s["x"], S0) == ExtReal(5)
+
+    def test_geometric_loop_termination_probability(self):
+        # while b { b <~ flip(2/3) }: terminates almost surely.
+        command = Seq(
+            Assign("b", Lit(True)),
+            While(Var("b"), flip("b", Fraction(2, 3))),
+        )
+        assert prob(command, lambda s: True) == ExtReal(1)
+
+    def test_geometric_expected_trials(self):
+        # E[number of heads before first tails] with P(heads) = 1/2 is 1.
+        command = Seq(
+            Assign("b", Lit(True)),
+            While(
+                Var("b"),
+                Seq(
+                    flip("b", Fraction(1, 2)),
+                    Ite(Var("b"), Assign("n", Var("n") + 1), Skip()),
+                ),
+            ),
+        )
+        options = LoopOptions(strategy="iterate", tol=Fraction(1, 10**10))
+        value = wp(command, lambda s: s["n"], S0, options=options)
+        assert value.distance(ExtReal(1)) <= ExtReal(Fraction(1, 10**6))
+
+    def test_divergent_loop_wp_zero_wlp_one(self):
+        command = While(Lit(True), Skip())
+        assert wp(command, lambda s: 1, S0) == ExtReal(0)
+        assert wlp(command, lambda s: 1, S0) == ExtReal(1)
+
+    def test_exact_matches_iterate_on_finite_loop(self):
+        command = dueling_coins(Fraction(2, 3))
+        f = indicator(lambda s: s["a"] is True)
+        exact = wp(command, f, S0, options=LoopOptions(strategy="exact"))
+        iterated = wp(
+            command, f, S0,
+            options=LoopOptions(strategy="iterate", tol=Fraction(1, 10**12)),
+        )
+        assert exact == ExtReal(Fraction(1, 2))
+        assert iterated.distance(exact) <= ExtReal(Fraction(1, 10**9))
+
+
+class TestWlp:
+    def test_wlp_requires_bounded(self):
+        with pytest.raises(ValueError):
+            wlp(Skip(), lambda s: 2, S0)
+
+    def test_wlp_equals_wp_on_terminating(self):
+        command = geometric_primes(Fraction(1, 2))
+        f = indicator(lambda s: s["h"] == 2)
+        options = LoopOptions(tol=Fraction(1, 10**10))
+        lhs = wlp(command, f, S0, options=options)
+        rhs = wp(command, f, S0, options=options)
+        assert lhs.distance(rhs) <= ExtReal(Fraction(1, 10**6))
