@@ -12,6 +12,7 @@ heavy rows are scaled down by a weight.  Set ``ZAR_BENCH_SAMPLES=100000``
 to reproduce at paper scale.
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -22,6 +23,15 @@ def bench_samples(weight: int = 1) -> int:
     """Samples for one table row; heavier rows pass a larger weight."""
     base = int(os.environ.get("ZAR_BENCH_SAMPLES", "5000"))
     return max(300, base // weight)
+
+
+def write_json_result(name: str, record: dict) -> None:
+    """Persist a machine-readable benchmark record (for CI artifacts)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / ("%s.json" % name)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print()
+    print("%s: %s" % (path.name, json.dumps(record, sort_keys=True)))
 
 
 def write_result(name: str, text: str) -> None:

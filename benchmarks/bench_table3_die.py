@@ -12,16 +12,22 @@ within the Knuth-Yao H+2 band.  The exact expected flips are 11/3, 9,
 and 15.619; sampled means must agree.
 """
 
+import time
+
 import pytest
 
 from repro.cftree.analysis import expected_bits
 from repro.cftree.uniform import uniform_tree
+from repro.engine import BatchSampler, HAVE_NUMPY
+from repro.itree.unfold import cpgcl_to_itree
+from repro.lang.state import State
 from repro.lang.sugar import n_sided_die
 from repro.sampler.harness import format_table, run_row
+from repro.sampler.record import collect
 from repro.stats.distributions import uniform_pmf
 from repro.stats.entropy import knuth_yao_bounds
 
-from benchmarks._common import bench_samples, write_result
+from benchmarks._common import bench_samples, write_json_result, write_result
 
 CASES = [
     (6, 1, 3.66),
@@ -54,6 +60,52 @@ def test_table3_row(benchmark, n, weight, paper_bits):
     low, high = knuth_yao_bounds(uniform_pmf(n))
     assert low <= exact_bits < high + 0.5
     test_table3_row.rows = getattr(test_table3_row, "rows", []) + [row]
+
+
+def test_table3_engine_speedup(benchmark):
+    """The acceptance bar for the batch engine: >= 10x samples/sec over
+    the per-sample trampoline on the 6-sided die, measured side by side.
+
+    The trampoline is timed on a reduced count (it is the slow side);
+    throughputs are samples/sec, so the counts need not match.
+    """
+    program = n_sided_die(6)
+    engine_count = bench_samples()
+    trampoline_count = max(300, engine_count // 10)
+
+    tree = cpgcl_to_itree(program, State())
+    collect(tree, 50, seed=0, extract=lambda s: s["x"])  # warm caches
+    start = time.perf_counter()
+    collect(tree, trampoline_count, seed=17, extract=lambda s: s["x"])
+    trampoline_sps = trampoline_count / (time.perf_counter() - start)
+
+    sampler = BatchSampler.from_command(program)
+
+    def run_engine():
+        return sampler.collect(
+            engine_count, seed=17, extract=lambda s: s["x"]
+        )
+
+    samples = benchmark.pedantic(run_engine, rounds=1, iterations=1)
+    start = time.perf_counter()
+    sampler.collect(engine_count, seed=18, extract=lambda s: s["x"])
+    engine_sps = engine_count / (time.perf_counter() - start)
+
+    speedup = engine_sps / trampoline_sps
+    record = {
+        "benchmark": "table3_die_n6",
+        "backend": "numpy" if HAVE_NUMPY else "python",
+        "engine_samples": engine_count,
+        "trampoline_samples": trampoline_count,
+        "engine_samples_per_sec": round(engine_sps, 1),
+        "trampoline_samples_per_sec": round(trampoline_sps, 1),
+        "speedup": round(speedup, 2),
+        "table_nodes": len(sampler.table),
+    }
+    write_json_result("BENCH_engine", record)
+    # Sanity: the engine sampled the same distribution (3.66 bits/sample).
+    assert abs(samples.mean_bits() - 11 / 3) < 0.2
+    assert speedup >= 10.0, "engine speedup %.1fx below the 10x bar" % speedup
 
 
 def test_table3_render(benchmark):

@@ -71,6 +71,7 @@ from repro.cftree import (
     twp,
     uniform_tree,
 )
+from repro.engine import BatchSampler
 from repro.itree import cpgcl_to_itree, itwp, itwp_tied, tie_itree, to_itree_open
 from repro.sampler import collect, preimage, run_itree, run_row
 from repro.uniform import ZarUniform
@@ -86,6 +87,7 @@ from repro.mcmc import MHSampler
 
 __all__ = [
     "Assign",
+    "BatchSampler",
     "Choice",
     "Command",
     "CountingBits",

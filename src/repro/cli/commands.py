@@ -17,7 +17,6 @@ from repro.cftree.debias import debias
 from repro.cftree.elim import elim_choices
 from repro.cftree.viz import render_cftree
 from repro.inference import infer_posterior
-from repro.itree.unfold import cpgcl_to_itree
 from repro.lang.errors import CpGCLError
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty
@@ -26,7 +25,6 @@ from repro.lang.syntax import Command
 from repro.lang.typecheck import check_program
 from repro.lang.values import normalize
 from repro.mcmc import MHSampler, effective_sample_size
-from repro.sampler.record import collect
 
 
 class CliError(Exception):
@@ -127,9 +125,27 @@ def cmd_compile(args, out: TextIO) -> int:
 def cmd_sample(args, out: TextIO) -> int:
     program = load_program(args.file)
     sigma = parse_initial_state(args.init)
-    sampler = cpgcl_to_itree(program, sigma)
     extract = _extractor(args.var)
-    samples = collect(sampler, args.n, seed=args.seed, extract=extract)
+    from repro.engine import LoweringError
+    from repro.engine.api import collect_auto
+
+    try:
+        result = collect_auto(
+            program,
+            args.n,
+            sigma=sigma,
+            seed=args.seed,
+            extract=extract,
+            engine=getattr(args, "engine", "auto"),
+        )
+    except LoweringError as err:
+        raise CliError("batch engine: %s" % err)
+    samples = result.samples
+    if result.engine == "batch":
+        print("engine:    batch (%d table nodes)" % result.table_nodes,
+              file=out)
+    else:
+        print("engine:    trampoline", file=out)
     print("samples:   %d (seed %s)" % (len(samples), args.seed), file=out)
     print("mean bits: %.2f (std %.2f)"
           % (samples.mean_bits(), samples.std_bits()), file=out)

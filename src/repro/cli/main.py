@@ -83,6 +83,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="report this variable instead of full states")
     p_sample.add_argument("--top", type=int, default=10,
                           help="outcomes to list (default 10)")
+    p_sample.add_argument(
+        "--engine", choices=("auto", "batch", "trampoline"), default="auto",
+        help="sampling path: vectorized batch engine (auto falls back to "
+        "the per-sample trampoline when lowering fails)",
+    )
     p_sample.set_defaults(run=cmd_sample)
 
     p_infer = sub.add_parser(

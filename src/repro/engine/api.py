@@ -1,0 +1,193 @@
+"""``BatchSampler``: the batch engine's user-facing facade.
+
+Build once from a cpGCL command (or a CF tree), then draw samples in
+batches::
+
+    sampler = BatchSampler.from_command(n_sided_die(6))
+    samples = sampler.collect(100_000, seed=7, extract=lambda s: s["x"])
+
+``collect`` returns the same :class:`~repro.sampler.record.SampleSet`
+the trampoline-based ``repro.sampler.record.collect`` produces, so the
+harness and benchmarks consume either interchangeably.  Backends:
+
+- ``"numpy"``  -- vectorized lanes (default when numpy is installed);
+- ``"python"`` -- pooled pure-Python batch loop;
+- ``"sequential"`` -- per-sample stepping against an explicit
+  ``BitSource``; bit-for-bit equivalent to the trampoline (forced
+  whenever ``source`` is given).
+"""
+
+from typing import Callable, List, NamedTuple, Optional
+
+from repro.bits.source import BitSource, CountingBits
+from repro.cftree.debias import debias
+from repro.cftree.elim import elim_choices
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.tree import CFTree
+from repro.engine import driver as _driver
+from repro.engine.pool import BitPool, HAVE_NUMPY
+from repro.engine.table import LoweringError, NodeTable, lower_cftree
+from repro.lang.state import State
+from repro.lang.syntax import Command
+from repro.sampler.record import SampleSet
+
+BACKENDS = ("auto", "numpy", "python", "sequential")
+
+ENGINES = ("auto", "batch", "trampoline")
+
+
+class CollectResult(NamedTuple):
+    """``collect_auto``'s result: the samples plus which path ran."""
+
+    samples: SampleSet
+    engine: str  # "batch" or "trampoline"
+    table_nodes: int  # 0 on the trampoline path
+
+
+def collect_auto(
+    command: Command,
+    n: int,
+    sigma: Optional[State] = None,
+    seed: Optional[int] = None,
+    extract: Optional[Callable[[object], object]] = None,
+    engine: str = "auto",
+    fuel: Optional[int] = None,
+) -> CollectResult:
+    """Engine-selection policy shared by the harness, CLI, and checkers.
+
+    ``engine="auto"`` tries the batch engine and falls back to the
+    trampoline when lowering fails; ``"batch"`` propagates the
+    :class:`LoweringError` instead; ``"trampoline"`` forces the
+    per-sample reference driver.
+    """
+    if engine not in ENGINES:
+        raise ValueError("unknown engine %r" % (engine,))
+    if engine != "trampoline":
+        try:
+            sampler = BatchSampler.from_command(command, sigma)
+            samples = sampler.collect(n, seed=seed, extract=extract, fuel=fuel)
+            return CollectResult(samples, "batch", len(sampler.table))
+        except LoweringError:
+            if engine == "batch":
+                raise
+    from repro.itree.unfold import cpgcl_to_itree
+    from repro.sampler.record import collect
+
+    tree = cpgcl_to_itree(command, sigma if sigma is not None else State())
+    samples = collect(tree, n, seed=seed, extract=extract, fuel=fuel)
+    return CollectResult(samples, "trampoline", 0)
+
+
+class BatchSampler:
+    """A compiled sampler drawing N samples per call off a node table."""
+
+    def __init__(self, table: NodeTable, tied: bool = True):
+        self.table = table
+        self.tied = tied
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_command(
+        cls,
+        command: Command,
+        sigma: Optional[State] = None,
+        coalesce: str = "loopback",
+        eliminate: bool = True,
+        max_nodes: int = 2_000_000,
+    ) -> "BatchSampler":
+        """Lower ``command`` through the Definition 3.13 pipeline
+        (compile, ``elim_choices``, ``debias``) into a node table."""
+        sigma = sigma if sigma is not None else State()
+        tree = compile_cpgcl(command, sigma, coalesce)
+        if eliminate:
+            tree = elim_choices(tree)
+        tree = debias(tree, coalesce)
+        return cls(lower_cftree(tree, max_nodes))
+
+    @classmethod
+    def from_cftree(
+        cls,
+        tree: CFTree,
+        coalesce: str = "loopback",
+        apply_debias: bool = True,
+        max_nodes: int = 2_000_000,
+    ) -> "BatchSampler":
+        if apply_debias:
+            tree = debias(tree, coalesce)
+        return cls(lower_cftree(tree, max_nodes))
+
+    # -- sampling --------------------------------------------------------
+
+    def sample(self, source: BitSource, max_steps: Optional[int] = None):
+        """One sample against an explicit source (trampoline-exact)."""
+        return _driver.run_table(self.table, source, max_steps, self.tied)
+
+    def collect(
+        self,
+        n: int,
+        seed: Optional[int] = None,
+        source: Optional[BitSource] = None,
+        extract: Optional[Callable[[object], object]] = None,
+        fuel: Optional[int] = None,
+        backend: str = "auto",
+    ) -> SampleSet:
+        """Draw ``n`` samples and return a :class:`SampleSet`.
+
+        ``extract`` is applied once per *distinct* terminal payload, not
+        once per sample -- a large win when payloads are program states.
+        """
+        if n <= 0:
+            raise ValueError("need a positive sample count")
+        if backend not in BACKENDS:
+            raise ValueError("unknown backend %r" % (backend,))
+        if source is not None:
+            backend = "sequential"
+        elif backend == "auto":
+            backend = "numpy" if HAVE_NUMPY else "python"
+
+        if backend == "sequential":
+            counting = CountingBits(source if source is not None else BitPool(seed))
+            indices: List[int] = []
+            bits: List[int] = []
+            for _ in range(n):
+                indices.append(
+                    _driver._step_indices(self.table, counting, fuel, self.tied)
+                )
+                bits.append(counting.take_count())
+        elif backend == "python":
+            indices, bits = _driver.collect_python(
+                self.table, n, BitPool(seed), fuel, self.tied
+            )
+        else:  # numpy
+            raw_indices, raw_bits = _driver.collect_numpy(
+                self.table, n, seed=seed, max_steps=fuel, tied=self.tied
+            )
+            indices = raw_indices.tolist()
+            bits = raw_bits.tolist()
+
+        mapped = self.table.map_payloads(extract)
+        values = [
+            mapped[i] if i >= 0 else _driver.ENGINE_FAIL for i in indices
+        ]
+        return SampleSet(values, bits)
+
+    def samples(
+        self,
+        n: int,
+        seed: Optional[int] = None,
+        source: Optional[BitSource] = None,
+        backend: str = "auto",
+    ) -> List[object]:
+        return self.collect(n, seed=seed, source=source, backend=backend).values
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self):
+        return self.table.stats()
+
+    def __repr__(self):
+        return "BatchSampler(%d nodes, %d payloads)" % (
+            len(self.table),
+            len(self.table.payloads),
+        )

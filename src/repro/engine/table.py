@@ -1,0 +1,287 @@
+"""Flat array encoding of debiased CF trees (the batch engine's IR).
+
+The per-sample trampoline (:func:`repro.sampler.run.run_itree`) pays a
+Python closure call per ``Tau``/``Vis`` step.  The engine instead lowers
+a debiased CF tree into a *node table*: four parallel arrays
+
+- ``op[i]``      -- the node kind (``OP_BIT``/``OP_LEAF``/...);
+- ``a[i]``       -- the bit-``True`` branch target (or the jump target);
+- ``b[i]``       -- the bit-``False`` branch target;
+- ``payload[i]`` -- index into ``payloads`` for leaves, ``-1`` otherwise;
+
+so a sample is drawn by pure index arithmetic: ``i = a[i] if bit else
+b[i]``.  Drivers (see :mod:`repro.engine.driver`) walk the table either
+one sample at a time (bit-for-bit equivalent to the trampoline) or as a
+vectorized batch over numpy arrays.
+
+``Fix`` nodes cannot be lowered eagerly: their loop-state space may be
+unbounded (e.g. the geometric counter), so a loop entry at state ``s``
+is first emitted as an ``OP_STUB`` and expanded on first visit
+(:meth:`NodeTable.expand`).  Expansions are memoized per
+``(fix identity, continuation, state)``, so finite loop-state spaces
+close up into back-edges (the rejection loops of ``uniform_tree`` become
+a single back jump) and unbounded ones grow the table once per *distinct*
+state, amortized across all samples.  ``Fail`` leaves compile to a single
+``OP_FAIL`` node; the tied driver treats it as "restart at the root",
+which is exactly ``tie_itree``'s rejection semantics.
+
+The traversal order of ``Choice`` nodes -- and hence the consumed bit
+sequence -- is identical to ``to_itree_open``'s: a ``True`` bit selects
+the left subtree (the paper's "heads").
+"""
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+
+# Node opcodes.  OP_BIT consumes one fair bit and branches; OP_LEAF
+# produces payload ``payload[i]``; OP_FAIL is observation failure;
+# OP_JMP is an unconditional hop (left behind by stub expansion);
+# OP_STUB is an unexpanded loop entry.
+OP_BIT = 0
+OP_LEAF = 1
+OP_FAIL = 2
+OP_JMP = 3
+OP_STUB = 4
+
+OP_NAMES = ("BIT", "LEAF", "FAIL", "JMP", "STUB")
+
+
+class LoweringError(ValueError):
+    """The tree cannot be lowered (e.g. a biased choice survived)."""
+
+
+class TableOverflow(LoweringError):
+    """Lowering exceeded the node budget (state space too large)."""
+
+
+class _Halt:
+    """The terminal continuation: a leaf value is a finished sample."""
+
+    __slots__ = ()
+
+    def __repr__(self):
+        return "HALT"
+
+
+_HALT = _Halt()
+
+
+class _LoopK:
+    """The in-loop continuation: a leaf value is the next loop state.
+
+    Interned per ``(fix identity, outer continuation)`` so that memo keys
+    built from continuations compare by identity.
+    """
+
+    __slots__ = ("fix", "outer")
+
+    def __init__(self, fix: Fix, outer):
+        self.fix = fix
+        self.outer = outer
+
+    def __repr__(self):
+        return "LoopK(%r)" % (self.fix,)
+
+
+class NodeTable:
+    """An array-encoded sampler with JIT-expanded loop entries."""
+
+    def __init__(self, max_nodes: int = 2_000_000):
+        self.op: List[int] = []
+        self.a: List[int] = []  # True-branch / jump target
+        self.b: List[int] = []  # False-branch target
+        self.payload: List[int] = []
+        self.payloads: List[object] = []
+        self.max_nodes = max_nodes
+        self.root = -1
+        # Monotone counter bumped on every structural change; drivers
+        # use it to refresh derived (numpy) views incrementally.
+        self.version = 0
+        self._fail_node = -1
+        self._payload_index: Dict[object, int] = {}
+        self._lower_memo: Dict[Tuple[int, int], Tuple[CFTree, int]] = {}
+        self._enter_memo: Dict[Tuple[int, int, object], Tuple[Fix, int]] = {}
+        self._loopk_intern: Dict[Tuple[int, int], _LoopK] = {}
+        self._pending: Dict[int, Tuple[Fix, object, object]] = {}
+        self.expansions = 0
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_cftree(cls, tree: CFTree, max_nodes: int = 2_000_000) -> "NodeTable":
+        """Lower a *debiased* CF tree; the root is set to its entry node."""
+        table = cls(max_nodes)
+        table.root = table._lower(tree, _HALT)
+        return table
+
+    def _alloc(self, op: int, a: int = -1, b: int = -1, payload: int = -1) -> int:
+        if len(self.op) >= self.max_nodes:
+            raise TableOverflow(
+                "node table exceeded %d nodes (loop state space too "
+                "large for the batch engine)" % self.max_nodes
+            )
+        index = len(self.op)
+        self.op.append(op)
+        self.a.append(a)
+        self.b.append(b)
+        self.payload.append(payload)
+        self.version += 1
+        return index
+
+    def _leaf(self, value: object) -> int:
+        try:
+            pidx = self._payload_index.get(value)
+            hashable = True
+        except TypeError:
+            pidx, hashable = None, False
+        if pidx is None:
+            pidx = len(self.payloads)
+            self.payloads.append(value)
+            if hashable:
+                self._payload_index[value] = pidx
+        return self._alloc(OP_LEAF, payload=pidx)
+
+    def _fail(self) -> int:
+        if self._fail_node < 0:
+            self._fail_node = self._alloc(OP_FAIL)
+        return self._fail_node
+
+    def _loopk(self, fix: Fix, outer) -> _LoopK:
+        key = (id(fix), id(outer))
+        k = self._loopk_intern.get(key)
+        if k is None:
+            k = _LoopK(fix, outer)
+            self._loopk_intern[key] = k
+        return k
+
+    def _apply_k(self, k, value) -> int:
+        if k is _HALT:
+            return self._leaf(value)
+        return self._enter(k.fix, k.outer, value)
+
+    def _lower(self, tree: CFTree, k) -> int:
+        memo_key = (id(tree), id(k))
+        hit = self._lower_memo.get(memo_key)
+        if hit is not None:
+            return hit[1]
+        if isinstance(tree, Leaf):
+            index = self._apply_k(k, tree.value)
+        elif isinstance(tree, Fail):
+            index = self._fail()
+        elif isinstance(tree, Choice):
+            if tree.prob * 2 != 1:
+                raise LoweringError(
+                    "biased choice (p=%s) in engine lowering; debias the "
+                    "tree first" % (tree.prob,)
+                )
+            # Allocate the branch node after both subtrees: subtree
+            # lowering never revisits this (id(tree), k) pair, since
+            # cycles only arise through Fix stubs.
+            left = self._lower(tree.left, k)
+            right = self._lower(tree.right, k)
+            index = self._alloc(OP_BIT, a=left, b=right)
+        elif isinstance(tree, Fix):
+            index = self._enter(tree, k, tree.init)
+        else:
+            raise LoweringError("not a CF tree: %r" % (tree,))
+        # Keep the tree alive alongside its id so the key can't be
+        # recycled by the allocator (same trick as cftree.cache).
+        self._lower_memo[memo_key] = (tree, index)
+        return index
+
+    def _enter(self, fix: Fix, k, state) -> int:
+        try:
+            key = (id(fix), id(k), state)
+            hit = self._enter_memo.get(key)
+        except TypeError:
+            # Unhashable loop state: no memoization, so loops over such
+            # states never close; the node budget is the backstop.
+            key = None
+            hit = None
+        if hit is not None:
+            return hit[1]
+        index = self._alloc(OP_STUB)
+        self._pending[index] = (fix, k, state)
+        if key is not None:
+            self._enter_memo[key] = (fix, index)
+        return index
+
+    # -- JIT expansion ---------------------------------------------------
+
+    def expand(self, index: int) -> None:
+        """Expand the stub at ``index`` in place (it becomes a jump).
+
+        One expansion performs a bounded amount of lowering: the loop
+        body (or exit continuation) at one concrete state, with any
+        nested loop entries left as fresh stubs.
+        """
+        if self.op[index] != OP_STUB:
+            return
+        fix, k, state = self._pending.pop(index)
+        if fix.guard(state):
+            target = self._lower(fix.body(state), self._loopk(fix, k))
+        else:
+            target = self._lower(fix.cont(state), k)
+        self.op[index] = OP_JMP
+        self.a[index] = target
+        self.version += 1
+        self.expansions += 1
+
+    def expand_all(self, limit: Optional[int] = None) -> bool:
+        """Expand stubs breadth-first until none remain or ``limit`` more
+        expansions were done.  Returns True when the table is closed
+        (fully expanded -- no stub left)."""
+        done = 0
+        while self._pending:
+            if limit is not None and done >= limit:
+                return False
+            self.expand(next(iter(self._pending)))
+            done += 1
+        return True
+
+    def resolve(self, index: int) -> int:
+        """Follow jumps (expanding stubs on the way) to a concrete node."""
+        while True:
+            op = self.op[index]
+            if op == OP_JMP:
+                index = self.a[index]
+            elif op == OP_STUB:
+                self.expand(index)
+            else:
+                return index
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    @property
+    def pending_stubs(self) -> int:
+        return len(self._pending)
+
+    def stats(self) -> Dict[str, int]:
+        counts = [0] * len(OP_NAMES)
+        for op in self.op:
+            counts[op] += 1
+        return {
+            "nodes": len(self.op),
+            "payloads": len(self.payloads),
+            "expansions": self.expansions,
+            "bit": counts[OP_BIT],
+            "leaf": counts[OP_LEAF],
+            "fail": counts[OP_FAIL],
+            "jmp": counts[OP_JMP],
+            "stub": counts[OP_STUB],
+        }
+
+    def map_payloads(self, extract: Optional[Callable[[object], object]]):
+        """Apply ``extract`` once per distinct payload (not per sample)."""
+        if extract is None:
+            return list(self.payloads)
+        return [extract(value) for value in self.payloads]
+
+
+def lower_cftree(tree: CFTree, max_nodes: int = 2_000_000) -> NodeTable:
+    """Lower a debiased CF tree to a :class:`NodeTable`."""
+    return NodeTable.from_cftree(tree, max_nodes)

@@ -48,26 +48,35 @@ class InterpreterLimits(Exception):
     """The step or restart budget was exhausted."""
 
 
-def _run_tree(tree, source: BitSource):
-    """Execute a (finite or Fix-guarded) CF tree directly on a source."""
+def _run_tree(tree, source: BitSource, tick=None):
+    """Execute a (finite or Fix-guarded) CF tree directly on a source.
+
+    ``tick`` (when given) is charged once per consumed bit and per loop
+    turn, so adversarial bit streams cannot spin a rejection loop past
+    the interpreter's step budget.
+    """
     while True:
         if isinstance(tree, Leaf):
             return tree.value
         if isinstance(tree, Fail):
             raise ObservationFailure()
         if isinstance(tree, Choice):
+            if tick is not None:
+                tick()
             tree = tree.left if source.next_bit() else tree.right
             continue
         if isinstance(tree, Fix):
             state = tree.init
             while tree.guard(state):
-                state = _run_tree(tree.body(state), source)
+                if tick is not None:
+                    tick()
+                state = _run_tree(tree.body(state), source, tick)
             tree = tree.cont(state)
             continue
         raise TypeError("not a CF tree: %r" % (tree,))
 
 
-def draw_bernoulli(p: Fraction, source: BitSource) -> bool:
+def draw_bernoulli(p: Fraction, source: BitSource, tick=None) -> bool:
     """Draw Bernoulli(p) from fair bits (degenerate biases are free).
 
     Uses the verified ``bernoulli_tree`` construction, so entropy usage
@@ -77,12 +86,12 @@ def draw_bernoulli(p: Fraction, source: BitSource) -> bool:
         return False
     if p == 1:
         return True
-    return _run_tree(bernoulli_tree(p), source)
+    return _run_tree(bernoulli_tree(p), source, tick)
 
 
-def draw_uniform(n: int, source: BitSource) -> int:
+def draw_uniform(n: int, source: BitSource, tick=None) -> int:
     """Draw uniformly from ``{0 .. n-1}`` via ``uniform_tree``."""
-    return _run_tree(uniform_tree(n), source)
+    return _run_tree(uniform_tree(n), source, tick)
 
 
 # Internal aliases kept for the interpreter body below.
@@ -125,12 +134,12 @@ def execute_once(
             p = as_fraction(c.prob.eval(s))
             if not 0 <= p <= 1:
                 raise ProbabilityRangeError(p, s)
-            return go(c.left if _flip(p, source) else c.right, s)
+            return go(c.left if _flip(p, source, tick) else c.right, s)
         if isinstance(c, Uniform):
             n = as_int(c.range_expr.eval(s))
             if n <= 0:
                 raise UniformRangeError(n, s)
-            return s.set(c.name, _uniform(n, source))
+            return s.set(c.name, _uniform(n, source, tick))
         if isinstance(c, While):
             current = s
             while as_bool(c.cond.eval(current)):

@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, NamedTuple, Optional
 from repro.itree.unfold import cpgcl_to_itree
 from repro.lang.state import State
 from repro.lang.syntax import Command
-from repro.sampler.record import SampleSet, collect
+from repro.sampler.record import SampleSet
 from repro.stats.divergence import kl_divergence, smape, tv_distance
 from repro.stats.empirical import empirical_pmf
 
@@ -60,17 +60,30 @@ def run_row(
     seed: int = 0,
     sigma: Optional[State] = None,
     numeric: Callable[[object], float] = float,
+    engine: str = "auto",
 ) -> Row:
     """Sample ``command`` and produce one evaluation-table row.
 
     ``variable`` is the program variable whose posterior the row reports;
     ``true_pmf`` enables the TV/KL/SMAPE columns.  ``numeric`` converts
     outcomes for the mean/std columns (booleans count as 0/1).
+
+    ``engine`` selects the sampling path: ``"auto"`` (batch engine,
+    trampoline fallback), ``"batch"`` (engine, error on failure), or
+    ``"trampoline"`` (the per-sample reference driver).
     """
-    tree = program_sampler(command, sigma)
+    from repro.engine.api import collect_auto
+
     count = n if n is not None else default_sample_count()
-    samples = collect(tree, count, seed=seed, extract=lambda s: s[variable])
-    return row_from_samples(samples, param, true_pmf, numeric)
+    result = collect_auto(
+        command,
+        count,
+        sigma=sigma,
+        seed=seed,
+        extract=lambda s: s[variable],
+        engine=engine,
+    )
+    return row_from_samples(result.samples, param, true_pmf, numeric)
 
 
 def row_from_samples(

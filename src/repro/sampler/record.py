@@ -66,9 +66,24 @@ def collect(
     source: Optional[BitSource] = None,
 ) -> SampleSet:
     """Draw ``n`` samples; ``extract`` post-processes each terminal value
-    (e.g. projecting one variable out of a terminal program state)."""
+    (e.g. projecting one variable out of a terminal program state).
+
+    ``tree`` may also be a batch-engine ``NodeTable`` or ``BatchSampler``
+    (see :mod:`repro.engine`), in which case sampling is routed through
+    the vectorized batch driver instead of the per-sample trampoline.
+    """
     if n <= 0:
         raise ValueError("need a positive sample count")
+    if not isinstance(tree, ITree):
+        from repro.engine.api import BatchSampler
+        from repro.engine.table import NodeTable
+
+        if isinstance(tree, NodeTable):
+            tree = BatchSampler(tree)
+        if isinstance(tree, BatchSampler):
+            return tree.collect(
+                n, seed=seed, source=source, extract=extract, fuel=fuel
+            )
     counting = CountingBits(source if source is not None else SystemBits(seed))
     values: List[object] = []
     bits: List[int] = []

@@ -16,10 +16,22 @@ from repro.stats.distributions import (
     uniform_pmf,
 )
 from repro.stats.entropy import knuth_yao_bounds, shannon_entropy
+from repro.stats.binomial import (
+    betainc,
+    betainc_inv,
+    clopper_pearson,
+    clopper_pearson_lower,
+    clopper_pearson_upper,
+)
 
 __all__ = [
     "bernoulli_exp_pmf",
     "bernoulli_pmf",
+    "betainc",
+    "betainc_inv",
+    "clopper_pearson",
+    "clopper_pearson_lower",
+    "clopper_pearson_upper",
     "discrete_gaussian_pmf",
     "discrete_laplace_pmf",
     "empirical_pmf",

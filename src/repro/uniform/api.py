@@ -7,6 +7,12 @@ draw samples).  Here the sampler is the same pipeline applied to the
 the executable checks of :mod:`repro.verify` (Lemma 3.6 is verified
 exactly at construction time for small ranges).
 
+Sampling runs on the batch engine (:mod:`repro.engine`): the tree is
+lowered once into a flat node table at construction; ``sample``/
+``samples`` step it against the instance's metered bit source (bit-for-
+bit what the reference trampoline would consume), and ``batch`` draws
+large sample counts through the vectorized driver.
+
 Example::
 
     die = ZarUniform(6)
@@ -18,8 +24,7 @@ from typing import Iterator, List, Optional
 from repro.bits.source import BitSource, CountingBits, SystemBits
 from repro.cftree.semantics import twp
 from repro.cftree.uniform import uniform_tree
-from repro.itree.unfold import tie_itree, to_itree_open
-from repro.sampler.run import run_itree
+from repro.engine.api import BatchSampler
 from repro.semantics.extreal import ExtReal
 from fractions import Fraction
 
@@ -47,7 +52,7 @@ class ZarUniform:
             validate = n <= 512
         if validate:
             self._validate()
-        self._itree = tie_itree(to_itree_open(self._tree))
+        self._sampler = BatchSampler.from_cftree(self._tree, coalesce)
         self._source = CountingBits(SystemBits(seed))
 
     def _validate(self) -> None:
@@ -62,11 +67,22 @@ class ZarUniform:
 
     def sample(self, source: Optional[BitSource] = None) -> int:
         """Draw one value in ``{0, .., n-1}``."""
-        return run_itree(self._itree, source or self._source)
+        return self._sampler.sample(source or self._source)
 
     def samples(self, count: int, source: Optional[BitSource] = None) -> List[int]:
-        """Draw ``count`` values."""
-        return [self.sample(source) for _ in range(count)]
+        """Draw ``count`` values (sequentially, metering the source)."""
+        draw = self._sampler.sample
+        chosen = source or self._source
+        return [draw(chosen) for _ in range(count)]
+
+    def batch(self, count: int, seed: Optional[int] = None) -> List[int]:
+        """Draw ``count`` values through the vectorized batch driver.
+
+        Unlike :meth:`samples` this bypasses (and does not meter) the
+        instance's bit source: bits come from a pooled buffer seeded
+        with ``seed``.
+        """
+        return self._sampler.samples(count, seed=seed)
 
     def stream(self, source: Optional[BitSource] = None) -> Iterator[int]:
         """An endless iterator of samples."""
@@ -77,6 +93,11 @@ class ZarUniform:
     def bits_consumed(self) -> int:
         """Total fair bits drawn from the built-in source so far."""
         return self._source.count
+
+    @property
+    def engine_stats(self):
+        """Node-table statistics of the lowered sampler."""
+        return self._sampler.stats()
 
 
 def uniform_int(n: int, seed: Optional[int] = None) -> int:

@@ -17,11 +17,9 @@ from typing import List, Optional, Sequence
 
 from repro.bits.source import BitSource, CountingBits, SystemBits
 from repro.cftree.debias import debias
-from repro.cftree.monad import bind
 from repro.cftree.semantics import twp
 from repro.cftree.tree import CFTree, Choice, Leaf
-from repro.itree.unfold import tie_itree, to_itree_open
-from repro.sampler.run import run_itree
+from repro.engine.api import BatchSampler
 from repro.semantics.extreal import ExtReal
 
 
@@ -77,7 +75,10 @@ class ZarCategorical:
             validate = len(self.weights) <= 256
         if validate:
             self._validate()
-        self._itree = tie_itree(to_itree_open(self._tree))
+        # Already debiased above; lower straight to the engine table.
+        self._sampler = BatchSampler.from_cftree(
+            self._tree, coalesce, apply_debias=False
+        )
         self._source = CountingBits(SystemBits(seed))
 
     def _validate(self) -> None:
@@ -101,10 +102,16 @@ class ZarCategorical:
         }
 
     def sample(self, source: Optional[BitSource] = None) -> int:
-        return run_itree(self._itree, source or self._source)
+        return self._sampler.sample(source or self._source)
 
     def samples(self, count: int, source: Optional[BitSource] = None):
-        return [self.sample(source) for _ in range(count)]
+        draw = self._sampler.sample
+        chosen = source or self._source
+        return [draw(chosen) for _ in range(count)]
+
+    def batch(self, count: int, seed: Optional[int] = None):
+        """Vectorized draws off a pooled buffer (source not metered)."""
+        return self._sampler.samples(count, seed=seed)
 
     @property
     def bits_consumed(self) -> int:

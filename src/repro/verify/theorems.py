@@ -19,10 +19,9 @@ from repro.cftree.semantics import tcwp, twp
 from repro.cftree.tree import CFTree
 from repro.cftree.uniform import uniform_tree
 from repro.itree.semantics import itwp_tied
-from repro.itree.unfold import cpgcl_to_itree, open_pipeline
+from repro.itree.unfold import open_pipeline
 from repro.lang.state import State
 from repro.lang.syntax import Command
-from repro.sampler.record import collect
 from repro.semantics.cwp import cwp, invariant_sum_check
 from repro.semantics.extreal import ExtReal
 from repro.semantics.fixpoint import DEFAULT_OPTIONS, LoopOptions
@@ -158,15 +157,25 @@ def check_equidistribution(
     n: int = 20000,
     seed: int = 0,
     tolerance: Optional[float] = None,
+    alpha: float = 1e-9,
     options: LoopOptions = DEFAULT_OPTIONS,
 ) -> None:
     """Theorem 4.2 (statistical form): the relative frequency of ``Q``
     among ``n`` samples approximates ``cwp c [Q] sigma``.
 
-    ``tolerance`` defaults to ``5 / sqrt(n)`` (five standard deviations
-    of a worst-case Bernoulli mean), giving a false-alarm probability
-    well under 1e-5 per invocation.
+    The check is calibrated: it fails iff the exact ``cwp`` value lies
+    outside the exact Clopper-Pearson interval around the observed
+    frequency at confidence ``1 - alpha`` -- so a correct sampler trips
+    a given seeded check with probability at most ``alpha`` (default
+    one in a billion), with no ad-hoc tolerance involved.  Passing an
+    explicit ``tolerance`` restores the legacy absolute-difference
+    comparison.
+
+    Sampling runs on the batch engine when the program lowers (it
+    always should); the trampoline is the fallback.
     """
+    from repro.stats.binomial import clopper_pearson
+
     sigma = sigma if sigma is not None else State()
     expected = float(cwp(
         command,
@@ -174,14 +183,27 @@ def check_equidistribution(
         sigma,
         options=options,
     ))
-    tree = cpgcl_to_itree(command, sigma)
-    samples = collect(tree, n, seed=seed)
-    frequency = sum(
-        1 for value in samples.values if predicate(value)
-    ) / len(samples)
-    limit = tolerance if tolerance is not None else 5.0 / (n ** 0.5)
-    if abs(frequency - expected) > limit:
+    samples = _equidistribution_samples(command, sigma, n, seed)
+    hits = sum(1 for value in samples.values if predicate(value))
+    frequency = hits / len(samples)
+    if tolerance is not None:
+        if abs(frequency - expected) > tolerance:
+            raise TheoremViolation(
+                "Theorem 4.2 fails: frequency %.6f vs cwp %.6f (tol %.6f)"
+                % (frequency, expected, tolerance)
+            )
+        return
+    lower, upper = clopper_pearson(hits, n, alpha)
+    if not lower <= expected <= upper:
         raise TheoremViolation(
-            "Theorem 4.2 fails: frequency %.6f vs cwp %.6f (tol %.6f)"
-            % (frequency, expected, limit)
+            "Theorem 4.2 fails: cwp %.6f outside the Clopper-Pearson "
+            "interval [%.6f, %.6f] around %d/%d hits (alpha=%g)"
+            % (expected, lower, upper, hits, n, alpha)
         )
+
+
+def _equidistribution_samples(command, sigma, n, seed):
+    """Engine-first sampling for the statistical checks."""
+    from repro.engine.api import collect_auto
+
+    return collect_auto(command, n, sigma=sigma, seed=seed).samples

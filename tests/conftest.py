@@ -1,5 +1,21 @@
-"""Shared pytest configuration: Hypothesis profiles."""
+"""Shared pytest configuration: test tiers and Hypothesis profiles.
 
+The suite is split into two tiers:
+
+- **tier 1** (the default ``python -m pytest -x -q``): fast functional
+  and statistical checks; targets well under 60 seconds wall time.
+- **slow tier** (``--runslow``): heavy Hypothesis sweeps, large
+  statistical sample counts, and exact-enumeration checks that take
+  minutes.  Tests opt in with ``@pytest.mark.slow``.
+
+``--runslow`` also switches Hypothesis to the ``thorough`` profile
+(400 examples instead of 60), so the slow tier doubles as the
+high-assurance configuration; ``HYPOTHESIS_PROFILE`` still overrides.
+"""
+
+import os
+
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -14,4 +30,30 @@ settings.register_profile(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow],
 )
-settings.load_profile("default")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run the slow tier (and the thorough Hypothesis profile)",
+    )
+
+
+def pytest_configure(config):
+    # (the `slow` marker itself is registered in pyproject.toml)
+    profile = os.environ.get(
+        "HYPOTHESIS_PROFILE",
+        "thorough" if config.getoption("--runslow") else "default",
+    )
+    settings.load_profile(profile)
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow tier: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

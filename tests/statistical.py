@@ -1,0 +1,120 @@
+"""Calibrated statistical assertions for sampler tests.
+
+Frequency checks against exact probabilities go through the exact
+Clopper-Pearson interval (:mod:`repro.stats.binomial`) instead of magic
+tolerances: ``assert_frequency(k, n, p)`` passes iff the true
+probability ``p`` lies in the exact CP interval around the observed
+``k/n`` at confidence ``1 - alpha``.
+
+With the default ``alpha = 1e-9`` a *correct* sampler fails a given
+seeded check with probability at most one in a billion -- and since all
+suite streams are seeded, a pass/fail outcome is fully reproducible.
+A wrong distribution, by contrast, leaves the interval with probability
+approaching 1 as ``n`` grows (the interval shrinks as ``~1/sqrt(n)``).
+
+Helpers accept probabilities as floats or ``Fraction``s (the ``cwp``/
+``twp`` engines produce exact rationals).
+"""
+
+from fractions import Fraction
+from typing import Dict, Iterable, Optional
+
+from repro.stats.binomial import clopper_pearson
+
+# One-in-a-billion per-check false-alarm rate: strict enough that a
+# seeded suite never flakes, loose enough that real bugs (which sit
+# many sigma out at the suite's sample sizes) are still caught.
+DEFAULT_ALPHA = 1e-9
+
+
+def _as_float(p) -> float:
+    if isinstance(p, Fraction):
+        return p.numerator / p.denominator
+    return float(p)
+
+
+def assert_frequency(
+    successes: int,
+    trials: int,
+    probability,
+    alpha: float = DEFAULT_ALPHA,
+    label: str = "",
+) -> None:
+    """Assert ``probability`` lies in the CP interval for ``successes/trials``."""
+    p = _as_float(probability)
+    lower, upper = clopper_pearson(successes, trials, alpha)
+    if not lower <= p <= upper:
+        raise AssertionError(
+            "%sobserved %d/%d (freq %.6f) is inconsistent with true "
+            "probability %.6f: CP interval [%.6f, %.6f] at alpha=%g"
+            % (
+                ("%s: " % label) if label else "",
+                successes,
+                trials,
+                successes / trials,
+                p,
+                lower,
+                upper,
+                alpha,
+            )
+        )
+
+
+def assert_event_frequency(
+    values: Iterable[object],
+    predicate,
+    probability,
+    alpha: float = DEFAULT_ALPHA,
+    label: str = "",
+) -> None:
+    """CP check for the frequency of ``predicate`` over ``values``."""
+    values = list(values)
+    hits = sum(1 for value in values if predicate(value))
+    assert_frequency(hits, len(values), probability, alpha, label)
+
+
+def assert_pmf(
+    values: Iterable[object],
+    pmf: Dict[object, float],
+    alpha: float = DEFAULT_ALPHA,
+    label: str = "",
+) -> None:
+    """Per-outcome CP checks of observed counts against an exact pmf.
+
+    The per-outcome ``alpha`` is split evenly (Bonferroni, with one
+    extra slot for the support check) so the whole family keeps the
+    requested false-alarm rate.  Mass leaked to outcomes *outside*
+    ``pmf`` is caught by a CP check of the total in-support frequency
+    against ``sum(pmf.values())`` -- which also handles truncated pmfs
+    (support sums below 1) exactly.
+    """
+    values = list(values)
+    per_check = alpha / (len(pmf) + 1)
+    counts: Dict[object, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    in_support = sum(counts.get(outcome, 0) for outcome in pmf)
+    total_mass = sum(_as_float(p) for p in pmf.values())
+    assert_frequency(
+        in_support,
+        len(values),
+        min(1.0, total_mass),
+        per_check,
+        label="%s in-support mass" % label if label else "in-support mass",
+    )
+    for outcome, probability in pmf.items():
+        assert_frequency(
+            counts.get(outcome, 0),
+            len(values),
+            probability,
+            per_check,
+            label="%s outcome=%r" % (label, outcome) if label else
+            "outcome=%r" % (outcome,),
+        )
+
+
+def frequency_interval(
+    successes: int, trials: int, alpha: float = DEFAULT_ALPHA
+):
+    """The CP interval itself (re-exported for ad-hoc assertions)."""
+    return clopper_pearson(successes, trials, alpha)

@@ -67,7 +67,10 @@ class TestZarCategorical:
         ) < 0.03
 
     def test_uniform_special_case(self):
-        sampler = ZarCategorical([1] * 8, seed=2, validate=True)
+        # validate=False: the exact twp validation of the 8-outcome
+        # stick-breaking tree costs ~8s of rational fixpoint solving and
+        # is already covered by test_construction_validates_debiased_tree.
+        sampler = ZarCategorical([1] * 8, seed=2, validate=False)
         values = sampler.samples(200)
         assert set(values) <= set(range(8))
 

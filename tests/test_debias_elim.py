@@ -27,6 +27,7 @@ S0 = State()
 class TestDebiasSoundness:
     """Theorem 3.8: tcwp (debias t) f = tcwp t f, exactly."""
 
+    @pytest.mark.slow
     @given(cf_trees(3))
     def test_random_trees(self, tree):
         # twp-level equality is stronger than tcwp-level and avoids the
@@ -35,6 +36,7 @@ class TestDebiasSoundness:
             assert twp(debias(tree), f) == twp(tree, f)
         assert twlp(debias(tree), lambda v: 1) == twlp(tree, lambda v: 1)
 
+    @pytest.mark.slow
     @given(cf_trees(3))
     def test_failure_mass_preserved(self, tree):
         lhs = twp(debias(tree), lambda v: 0, flag=True)
@@ -45,7 +47,10 @@ class TestDebiasSoundness:
         tree = compile_cpgcl(dueling_coins(Fraction(2, 3)), S0)
         check_debias_sound(tree, lambda s: 1 if s["a"] is True else 0)
 
+    @pytest.mark.slow
     def test_state_dependent_choices(self):
+        # Minutes of exact tcwp: the debiased tree carries a different
+        # fair-coin scheme at every loop depth.
         # bernoulli_exponential_0_1 has probability gamma/(k+1): the
         # compiled tree contains a different bias at every loop depth.
         tree = compile_cpgcl(
@@ -57,6 +62,7 @@ class TestDebiasSoundness:
 class TestDebiasUnbiased:
     """Theorem 3.9: every choice in debias t has bias 1/2."""
 
+    @pytest.mark.slow
     @given(cf_trees(3))
     def test_random_trees(self, tree):
         check_debias_unbiased(tree)
@@ -90,6 +96,7 @@ class TestElimChoices:
         )
         assert elim_choices(tree) == Leaf(1)
 
+    @pytest.mark.slow
     @given(cf_trees(3))
     def test_preserves_twp(self, tree):
         reduced = elim_choices(tree)
@@ -116,7 +123,9 @@ class TestPipelineComposition:
         assert twp(processed, f) == ExtReal(Fraction(1, 2))
         assert is_unbiased(processed, max_states=100)
 
+    @pytest.mark.slow
     def test_primes_pipeline_iterative(self):
+        # ~30s: exact twp fixpoints of the debiased primes pipeline.
         command = geometric_primes(Fraction(2, 3))
         options = LoopOptions(tol=Fraction(1, 10**10))
         tree = compile_cpgcl(command, S0)

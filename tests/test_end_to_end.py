@@ -3,13 +3,16 @@
 These are the test-suite versions of the Section 5 experiments, at
 reduced sample counts with fixed seeds and 5-sigma thresholds; the
 benchmark suite runs the same programs at full scale.
+
+Sampling runs on the batch engine (which the differential suite pins
+bit-for-bit to the trampoline) so the whole file fits the fast tier.
 """
 
 from fractions import Fraction
 
 import pytest
 
-from repro.itree.unfold import cpgcl_to_itree
+from repro.engine import BatchSampler
 from repro.lang.expr import Lit, Var
 from repro.lang.state import State
 from repro.lang.sugar import (
@@ -36,8 +39,8 @@ N = 6000
 
 
 def sample_variable(program, variable, n=N, seed=0):
-    tree = cpgcl_to_itree(program, S0)
-    return collect(tree, n, seed=seed, extract=lambda s: s[variable])
+    sampler = BatchSampler.from_command(program, S0)
+    return collect(sampler, n, seed=seed, extract=lambda s: s[variable])
 
 
 class TestDuelingCoins:
@@ -107,7 +110,10 @@ class TestAppendixC:
 
 
 class TestConditionedRace:
+    @pytest.mark.slow
     def test_hare_tortoise_shifts_posterior(self):
+        # ~2 minutes: each race trajectory visits mostly-fresh loop
+        # states, so per-state compilation dominates on either driver.
         from repro.lang.sugar import hare_tortoise
 
         unconditioned = sample_variable(

@@ -1,0 +1,196 @@
+"""Unit tests for the batch engine (table lowering, pools, drivers)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bits.source import BitsExhausted, ReplayBits
+from repro.cftree.tree import Choice, Fail, Leaf
+from repro.cftree.uniform import bernoulli_tree, uniform_tree
+from repro.engine import (
+    ENGINE_FAIL,
+    BatchSampler,
+    BitPool,
+    HAVE_NUMPY,
+    LoweringError,
+    NodeTable,
+    TableOverflow,
+    lower_cftree,
+)
+from repro.engine.table import OP_BIT, OP_JMP, OP_LEAF
+from repro.lang.expr import Var
+from repro.lang.state import State
+from repro.lang.sugar import flip, geometric_primes, n_sided_die
+from repro.lang.syntax import Observe, Seq
+from repro.sampler.record import SampleSet, collect
+from repro.stats.distributions import uniform_pmf
+
+from statistical import assert_event_frequency, assert_pmf
+
+S0 = State()
+
+
+class TestLowering:
+    def test_perfect_tree_layout(self):
+        # uniform_tree(4) is two fair bits: 3 BIT nodes over 4 leaves.
+        table = lower_cftree(uniform_tree(4))
+        stats = table.stats()
+        assert stats["bit"] == 3
+        assert stats["leaf"] == 4
+        assert stats["stub"] == 0
+
+    def test_rejection_loop_closes(self):
+        # uniform_tree(6) wraps a rejection loop; after full expansion
+        # the loopback must be a back-edge (a jump), not fresh copies.
+        table = lower_cftree(uniform_tree(6))
+        assert table.expand_all()
+        stats = table.stats()
+        assert stats["stub"] == 0
+        assert stats["jmp"] >= 1
+        assert stats["leaf"] == 6
+        # Fixed point: expanding again changes nothing.
+        size = len(table)
+        assert table.expand_all()
+        assert len(table) == size
+
+    def test_payloads_deduplicated(self):
+        # bernoulli_tree(1/3) has many True/False leaves but only two
+        # distinct payloads.
+        table = lower_cftree(bernoulli_tree(Fraction(1, 3)))
+        table.expand_all()
+        assert len(table.payloads) == 2
+
+    def test_biased_choice_rejected(self):
+        biased = Choice(Fraction(1, 3), Leaf(0), Leaf(1))
+        with pytest.raises(LoweringError):
+            lower_cftree(biased)
+
+    def test_overflow_guard(self):
+        with pytest.raises(TableOverflow):
+            table = NodeTable.from_cftree(
+                uniform_tree(64), max_nodes=16
+            )
+            table.expand_all()
+
+    def test_fail_node_shared(self):
+        tree = Choice(Fraction(1, 2), Fail(), Fail())
+        table = lower_cftree(tree)
+        assert table.stats()["fail"] == 1
+
+
+class TestSequentialDriver:
+    def test_explicit_bits_select_outcome(self):
+        sampler = BatchSampler.from_cftree(uniform_tree(4))
+        # True selects the left branch (the paper's "heads").
+        assert sampler.sample(ReplayBits([True, True])) == 0
+        assert sampler.sample(ReplayBits([True, False])) == 1
+        assert sampler.sample(ReplayBits([False, True])) == 2
+        assert sampler.sample(ReplayBits([False, False])) == 3
+
+    def test_exhaustion_propagates(self):
+        sampler = BatchSampler.from_cftree(uniform_tree(4))
+        with pytest.raises(BitsExhausted):
+            sampler.sample(ReplayBits([True]))
+
+    def test_untied_failure_sentinel(self):
+        command = Seq(flip("b", Fraction(1, 2)), Observe(Var("b")))
+        tied = BatchSampler.from_command(command)
+        open_sampler = BatchSampler(tied.table, tied=False)
+        values = open_sampler.collect(
+            200, seed=3, backend="python"
+        ).values
+        assert ENGINE_FAIL in values
+        assert any(value is not ENGINE_FAIL for value in values)
+
+
+class TestBatchDrivers:
+    BACKENDS = ["python"] + (["numpy"] if HAVE_NUMPY else [])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_die_distribution(self, backend):
+        sampler = BatchSampler.from_command(n_sided_die(6))
+        samples = sampler.collect(
+            6000, seed=5, extract=lambda s: s["x"], backend=backend
+        )
+        assert isinstance(samples, SampleSet)
+        assert len(samples) == 6000
+        assert_pmf(samples.values, uniform_pmf(6, start=1))
+        # Exact expected bit cost is 11/3; six sigma of the mean.
+        assert abs(samples.mean_bits() - 11 / 3) < 0.2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_seed_determinism(self, backend):
+        sampler = BatchSampler.from_command(n_sided_die(6))
+        first = sampler.collect(500, seed=9, backend=backend)
+        second = sampler.collect(500, seed=9, backend=backend)
+        assert first.values == second.values
+        assert first.bits == second.bits
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_conditioning_restarts_counted(self, backend):
+        # observe(b) rejects half the runs; burned bits must show up in
+        # the per-sample accounting (mean well above 1 bit).
+        command = Seq(flip("b", Fraction(1, 2)), Observe(Var("b")))
+        sampler = BatchSampler.from_command(command)
+        samples = sampler.collect(2000, seed=6, backend=backend)
+        assert all(value["b"] is True for value in samples.values)
+        # E[bits] = sum over restarts: 1 * sum_k k (1/2)^k = 2.
+        assert abs(samples.mean_bits() - 2.0) < 0.35
+
+    def test_collect_dispatches_tables(self):
+        # repro.sampler.record.collect accepts tables and batch samplers.
+        sampler = BatchSampler.from_command(n_sided_die(6))
+        through_sampler = collect(sampler, 300, seed=1)
+        through_table = collect(sampler.table, 300, seed=1)
+        assert through_sampler.values == through_table.values
+
+    def test_geometric_unbounded_state_space(self):
+        # The geometric loop's counter is unbounded: lowering must stay
+        # lazy and only materialize states actually reached.
+        sampler = BatchSampler.from_command(geometric_primes(Fraction(1, 2)))
+        samples = sampler.collect(
+            2000, seed=8, extract=lambda s: s["h"], backend="python"
+        )
+        # Posterior over primes: every value is prime.
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31}
+        assert set(samples.values) <= primes
+        # P(h=2 | prime) = (1/8) / (1/8 + 1/16 + 1/64 + ...) -- check
+        # the dominant outcome with a CP bound vs the exact posterior.
+        from repro.stats.distributions import geometric_primes_pmf
+
+        pmf = geometric_primes_pmf(Fraction(1, 2))
+        assert_event_frequency(
+            samples.values, lambda h: h == 2, pmf[2]
+        )
+
+
+class TestBitPool:
+    def test_seeded_reproducibility(self):
+        a = BitPool(42)
+        b = BitPool(42)
+        assert [a.next_bit() for _ in range(256)] == [
+            b.next_bit() for _ in range(256)
+        ]
+
+    def test_chunk_and_bit_faces_agree(self):
+        bitwise = BitPool(7)
+        chunked = BitPool(7)
+        value, width = chunked.next_chunk()
+        expected = [bool((value >> i) & 1) for i in range(width)]
+        assert [bitwise.next_bit() for _ in range(width)] == expected
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable")
+class TestNumpyParity:
+    def test_backends_agree_distributionally(self):
+        sampler = BatchSampler.from_command(n_sided_die(8))
+        fast = sampler.collect(4000, seed=2, extract=lambda s: s["x"],
+                               backend="numpy")
+        slow = sampler.collect(4000, seed=2, extract=lambda s: s["x"],
+                               backend="python")
+        # Different bit-assignment orders, same distribution: compare
+        # both against the exact pmf, and exact bit costs (3 bits).
+        assert_pmf(fast.values, uniform_pmf(8, start=1))
+        assert_pmf(slow.values, uniform_pmf(8, start=1))
+        assert fast.bits == [3] * 4000
+        assert slow.bits == [3] * 4000

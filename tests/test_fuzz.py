@@ -42,7 +42,14 @@ class TestFuzzOne:
         # Sabotage debias to swap branches of biased choices: the
         # differential harness must catch the distribution change on
         # some seed within a small budget.
-        import repro.verify.fuzz as fuzz_module
+        #
+        # NB: `repro.verify.__init__` re-exports the `fuzz` *function*
+        # under the package attribute `fuzz`, shadowing the submodule --
+        # `import repro.verify.fuzz as m` would bind the function, so
+        # the module is taken from sys.modules instead.
+        import sys
+
+        fuzz_module = sys.modules["repro.verify.fuzz"]
         from repro.cftree.tree import Choice, Fail, Fix, Leaf
 
         def broken_debias(tree, coalesce="loopback"):

@@ -214,7 +214,9 @@ class TestEnumeratePaths:
         tree = Fix(7, lambda s: False, Leaf, lambda s: Leaf(s * 2))
         assert unfold_fix_once(tree) == Leaf(14)
 
+    @pytest.mark.slow
     def test_fix_merging_matches_unmerged_account(self):
+        # ~11s: 200k unmerged expansions.
         # Merging only reroutes mass between identical subtrees: run
         # both modes to completion-level tolerance and compare bounds.
         tree = compile_cpgcl(dueling_coins(Fraction(2, 3)), State())
@@ -362,7 +364,9 @@ class TestInferPosterior:
         )
         assert posterior.mean_bounds("h") is None
 
+    @pytest.mark.slow
     def test_query_brackets_cwp(self):
+        # ~18s: 30k exact-tree expansions plus an exact cwp solve.
         program = geometric_primes(Fraction(2, 3))
         bounds = infer_query(
             program, lambda s: s["h"] == 3, max_expansions=30_000

@@ -15,6 +15,8 @@ from repro.sampler.record import SampleSet, collect
 from repro.sampler.run import FuelExhausted, run_itree
 from repro.stats.distributions import uniform_pmf
 
+from statistical import assert_event_frequency, assert_pmf
+
 S0 = State()
 
 
@@ -85,6 +87,24 @@ class TestSampleSet:
             SampleSet([1], [])
 
 
+class TestStatistical:
+    """Seeded Clopper-Pearson checks replacing magic tolerances."""
+
+    def test_die_distribution(self):
+        # Every face of the die must carry exactly 1/6 posterior mass;
+        # the CP family check is calibrated instead of "within 0.02".
+        tree = cpgcl_to_itree(n_sided_die(6), S0)
+        samples = collect(tree, 4000, seed=11, extract=lambda s: s["x"])
+        assert_pmf(samples.values, uniform_pmf(6, start=1))
+
+    def test_fair_flip_frequency(self):
+        tree = cpgcl_to_itree(flip("b", Fraction(1, 3)), S0)
+        samples = collect(tree, 4000, seed=12, extract=lambda s: s["b"])
+        assert_event_frequency(
+            samples.values, lambda b: b is True, Fraction(1, 3)
+        )
+
+
 class TestHarness:
     def test_run_row_columns(self):
         row = run_row(
@@ -96,11 +116,14 @@ class TestHarness:
             seed=4,
         )
         assert isinstance(row, Row)
-        assert 3.0 < row.mean < 4.0
-        assert row.tv is not None and row.tv < 0.1
-        assert row.kl is not None
-        assert 3.0 < row.mean_bits < 4.5  # ~11/3 expected
+        # Structural sanity of the row; distributional correctness is
+        # asserted by the CP checks in TestStatistical.
+        assert row.tv is not None and row.kl is not None
         assert row.samples == 2000
+        # Six standard errors of the mean of Uniform{1..6} (var 35/12).
+        expected_mean = (1 + 6) / 2
+        assert abs(row.mean - expected_mean) < 6 * (35 / 12 / 2000) ** 0.5
+        assert abs(row.mean_bits - 11 / 3) < 0.5
 
     def test_row_without_true_pmf(self):
         row = run_row(n_sided_die(6), "x", "n=6", n=200, seed=4)

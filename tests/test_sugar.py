@@ -91,7 +91,9 @@ class TestClobberSets:
 
 
 class TestInitialStateIndependence:
+    @pytest.mark.slow
     def test_geometric_primes_resets_nothing_it_reads(self):
+        # ~6s: two exact wp solves of the geometric loop.
         # h reads as 0 initially by the unbound-variable convention; the
         # program must not depend on other preexisting bindings.
         from repro.semantics.wp import wp

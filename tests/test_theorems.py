@@ -82,7 +82,9 @@ class TestTheorem314:
             lambda s: 1 if s["x"] == 3 else 0,
         )
 
+    @pytest.mark.slow
     def test_bernoulli_exponential(self):
+        # ~10s of exact itwp bracketing at tight tolerance.
         command = bernoulli_exponential_0_1("out", Fraction(1, 2))
         check_end_to_end(
             command,

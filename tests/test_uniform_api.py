@@ -3,7 +3,10 @@
 import pytest
 
 from repro.bits.source import ReplayBits, SystemBits
+from repro.stats.distributions import uniform_pmf
 from repro.uniform.api import ZarUniform, uniform_int, uniform_ints
+
+from statistical import assert_pmf
 
 
 class TestZarUniform:
@@ -42,12 +45,19 @@ class TestZarUniform:
         values = [next(stream) for _ in range(20)]
         assert len(values) == 20
 
-    def test_distribution_roughly_uniform(self):
+    def test_distribution_uniform_cp(self):
+        # Calibrated check: every outcome's exact 1/6 mass must lie in
+        # its Clopper-Pearson interval (no ad-hoc 0.02 tolerance).
         die = ZarUniform(6, seed=3)
         values = die.samples(12000)
-        for outcome in range(6):
-            share = values.count(outcome) / len(values)
-            assert abs(share - 1 / 6) < 0.02
+        assert_pmf(values, uniform_pmf(6))
+
+    def test_batch_distribution_uniform_cp(self):
+        # The vectorized batch path samples the same distribution.
+        die = ZarUniform(6)
+        values = die.batch(12000, seed=4)
+        assert_pmf(values, uniform_pmf(6))
+        assert die.bits_consumed == 0  # batch does not meter the source
 
 
 class TestConvenience:

@@ -18,7 +18,8 @@ class TestRenderCFTree:
         tree = Choice(Fraction(2, 3), Leaf(1), Fail())
         text = render_cftree(tree)
         assert "Choice 2/3" in text
-        assert "1:Leaf 1" in text.replace(" ", "")
+        # Branch labels: 1 (heads/True) is the left subtree, 0 the right.
+        assert "1:Leaf1" in text.replace(" ", "")
         assert "0:Fail" in text.replace(" ", "")
 
     def test_depth_truncation(self):

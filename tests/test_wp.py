@@ -143,7 +143,9 @@ class TestWlp:
         with pytest.raises(ValueError):
             wlp(Skip(), lambda s: 2, S0)
 
+    @pytest.mark.slow
     def test_wlp_equals_wp_on_terminating(self):
+        # ~6s: wlp and wp fixpoints at 1e-10 tolerance.
         command = geometric_primes(Fraction(1, 2))
         f = indicator(lambda s: s["h"] == 2)
         options = LoopOptions(tol=Fraction(1, 10**10))
