@@ -1,0 +1,141 @@
+"""Compiler-pipeline benchmark: CSE row reduction and cache latency.
+
+Two questions (ISSUE 5 acceptance):
+
+1. How much does the hash-consing/CSE stage (tree CSE + deduplicated
+   row emission + jump-threading compaction) shrink node tables on the
+   paper's programs?  Bar: >= 20% on at least one paper benchmark; the
+   Table 3 die goes 19 -> 12 rows (-36.8%) and Table 1 dueling coins
+   42 -> 18 (-57.1%).
+
+2. What does the content-addressed compilation cache buy on repeated
+   compile+sample runs of the Fig. 9b hare-tortoise program?  Cold
+   (empty cache) vs. warm in-memory (same process: the artifact *and*
+   its accumulated JIT loop expansions are reused) and -- for programs
+   whose tables close -- warm on-disk (fresh process simulation).
+   Hare-tortoise has an unbounded loop-state space, so its table never
+   closes and is memory-cacheable only; the die demonstrates the disk
+   tier.
+
+Writes ``benchmarks/results/BENCH_compiler.json`` (uploaded by CI next
+to ``BENCH_engine.json``).
+"""
+
+import time
+from fractions import Fraction
+
+from repro.compiler.cache import CompilationCache
+from repro.compiler.pipeline import Pipeline
+from repro.lang.expr import Var
+from repro.lang.sugar import dueling_coins, hare_tortoise, n_sided_die
+
+from benchmarks._common import bench_samples, write_json_result
+
+#: Conditioning predicate of the Fig. 9b row ("time <= 10").
+HARE = hare_tortoise(Var("time") <= 10)
+
+
+def _ms(seconds: float) -> float:
+    return round(seconds * 1000.0, 3)
+
+
+def _reduction_record(command) -> dict:
+    program = Pipeline(use_cache=False).compile(command, measure_raw=True)
+    lower = program.stats["lower"]
+    return {
+        "rows_raw": lower["rows_raw"],
+        "rows": lower["rows"],
+        "reduction_pct": lower["reduction_pct"],
+        "closed": lower["closed"],
+    }
+
+
+def _timed_compile_and_sample(pipeline, command, n, seed):
+    t0 = time.perf_counter()
+    program = pipeline.compile(command)
+    compile_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    program.collect(n, seed=seed, extract=lambda s: s["time"])
+    sample_s = time.perf_counter() - t0
+    return compile_s, sample_s, program
+
+
+def bench_record(tmp_dir: str) -> dict:
+    samples = max(50, bench_samples(100))
+
+    # -- 1. CSE/dedup/compaction row reduction ---------------------------
+    die = _reduction_record(n_sided_die(6))
+    dueling = _reduction_record(dueling_coins(Fraction(2, 3)))
+
+    # -- 2. hare-tortoise: cold vs. warm in-memory -----------------------
+    cache = CompilationCache(capacity=8)
+    pipeline = Pipeline(cache=cache)
+    cold_compile, cold_sample, program = _timed_compile_and_sample(
+        pipeline, HARE, samples, seed=29
+    )
+    warm_compile, warm_sample, warm_program = _timed_compile_and_sample(
+        pipeline, HARE, samples, seed=31
+    )
+    assert warm_program is program, "in-memory cache must hit"
+
+    # -- 3. die: cold vs. warm on-disk (fresh-process simulation) --------
+    disk_pipeline = Pipeline(cache=CompilationCache(capacity=8,
+                                                    disk_dir=tmp_dir))
+    t0 = time.perf_counter()
+    disk_pipeline.compile(n_sided_die(6))
+    disk_cold = time.perf_counter() - t0
+    rehydrate = Pipeline(cache=CompilationCache(capacity=8,
+                                                disk_dir=tmp_dir))
+    t0 = time.perf_counter()
+    loaded = rehydrate.compile(n_sided_die(6))
+    disk_warm = time.perf_counter() - t0
+    assert loaded.source == "disk", "disk cache must hit in a fresh cache"
+
+    return {
+        "benchmark": "compiler_cache",
+        "samples": samples,
+        "cse_row_reduction": {
+            "table3_die_n6": die,
+            "table1_dueling_coins": dueling,
+        },
+        "hare_tortoise_fig9b": {
+            "cold_compile_ms": _ms(cold_compile),
+            "cold_sample_ms": _ms(cold_sample),
+            "warm_memory_compile_ms": _ms(warm_compile),
+            "warm_memory_sample_ms": _ms(warm_sample),
+            "table_rows": len(program.table),
+            "closed": program.stats["lower"]["closed"],
+            "disk_tier": "not-cacheable (open table: loop-state closures)",
+        },
+        "die_disk_tier": {
+            "cold_compile_ms": _ms(disk_cold),
+            "warm_disk_compile_ms": _ms(disk_warm),
+        },
+    }
+
+
+def test_compiler_cache_benchmark(benchmark, tmp_path):
+    record = benchmark.pedantic(
+        lambda: bench_record(str(tmp_path)), rounds=1, iterations=1
+    )
+    write_json_result("BENCH_compiler", record)
+
+    # Acceptance: >= 20% row reduction from the CSE stage on a paper
+    # benchmark (the die is the named example; dueling coins doubles it).
+    die = record["cse_row_reduction"]["table3_die_n6"]
+    assert die["reduction_pct"] >= 20.0, die
+    assert record["cse_row_reduction"]["table1_dueling_coins"][
+        "reduction_pct"
+    ] >= 20.0
+
+    # The warm in-memory compile is a cache lookup; it must beat the
+    # cold compile (which pays build + passes + lowering + expansion).
+    hare = record["hare_tortoise_fig9b"]
+    assert hare["warm_memory_compile_ms"] < hare["cold_compile_ms"], hare
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        write_json_result("BENCH_compiler", bench_record(tmp))

@@ -2,38 +2,93 @@
 
 During sampling, a loop's body is recompiled and re-debiased once per
 iteration per sample (the ``Fix`` representation is lazy in the loop
-state).  States recur heavily across samples, so memoizing on
-``(identity of the syntax object, state)`` turns per-iteration tree
-construction into a dictionary lookup.
+state).  States recur heavily across samples, so memoizing turns
+per-iteration tree construction into a dictionary lookup.
 
-Keys use object identity for unhashable-or-expensive-to-hash components
-(commands, trees); the cache keeps a reference to those objects, so a
-live entry's id can never be recycled by the allocator.  Eviction is
-FIFO with a generous bound.
+Keys are either fully structural (the compiler's normalize stage interns
+commands, see :mod:`repro.compiler.normalize`) or use object identity
+for unhashable-or-expensive-to-hash components (trees); in the latter
+case the cache keeps a reference to those objects, so a live entry's id
+can never be recycled by the allocator.  Eviction is FIFO with a
+generous bound.
+
+The default bound is configurable: the ``ZAR_CFTREE_CACHE_SIZE``
+environment variable (read at import time) or :func:`default_capacity`
+set it globally, and each :class:`BoundedCache` can be ``resize``\\ d at
+runtime.  Caches count hits and misses so the pipeline's
+``CompiledProgram.stats`` and the CLI can report memoization
+effectiveness.
 """
 
+import os
 from collections import OrderedDict
-from typing import Hashable, Tuple
+from typing import Dict, Hashable, Tuple
+
+#: Fallback capacity when neither the env var nor the caller gives one.
+_DEFAULT_CAPACITY = 200_000
+
+
+def env_int(name: str, default: int) -> int:
+    """A positive integer from the environment, or ``default``.
+
+    Unset, unparsable, and nonpositive values all fall back -- a broken
+    env var must never break sampling.
+    """
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return default
+        if value > 0:
+            return value
+    return default
+
+
+def default_capacity() -> int:
+    """The configured default cache bound (``ZAR_CFTREE_CACHE_SIZE``)."""
+    return env_int("ZAR_CFTREE_CACHE_SIZE", _DEFAULT_CAPACITY)
 
 
 class BoundedCache:
-    """A FIFO-bounded mapping with identity-based keys.
+    """A FIFO-bounded mapping with hit/miss accounting.
 
-    ``get``/``put`` take a key tuple plus the objects whose identities
-    appear in the key (kept alive alongside the value).
+    ``get``/``put`` take a key tuple plus (for identity-based keys) the
+    objects whose identities appear in the key, kept alive alongside the
+    value so their ids cannot be recycled while the entry is live.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int = None):
+        if capacity is None:
+            capacity = default_capacity()
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._entries: "OrderedDict[Hashable, Tuple[tuple, object]]" = (
             OrderedDict()
         )
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def resize(self, capacity: int) -> None:
+        """Change the bound, evicting oldest entries if shrinking."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
 
     def get(self, key: Hashable):
         entry = self._entries.get(key)
-        return entry[1] if entry is not None else None
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry[1]
 
     def put(self, key: Hashable, keepalive: tuple, value) -> None:
         if key in self._entries:
@@ -41,6 +96,15 @@ class BoundedCache:
         if len(self._entries) >= self._capacity:
             self._entries.popitem(last=False)
         self._entries[key] = (keepalive, value)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus occupancy, for pipeline reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+            "capacity": self._capacity,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -22,6 +22,7 @@ Definition 2.1 (probability in [0, 1], positive uniform range).
 
 from repro.cftree.cache import BoundedCache
 from repro.cftree.monad import bind
+from repro.compiler.normalize import normalize_command, normalize_state
 from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
 from repro.cftree.uniform import uniform_tree
 from repro.lang.errors import ProbabilityRangeError, UniformRangeError
@@ -41,9 +42,24 @@ from repro.lang.values import as_bool, as_fraction, as_int
 
 
 # Loop bodies are recompiled per iteration per sample; states recur
-# across samples, so memoization on (command identity, state) is the
-# sampler's main constant-factor optimization.
-_COMPILE_CACHE = BoundedCache(200_000)
+# across samples, so memoization on (command, state) is the sampler's
+# main constant-factor optimization.  Keys are *structural*: the
+# normalize stage interns commands and states to canonical
+# representatives, so the memo key is the canonical object itself --
+# structurally equal programs share entries, and (unlike the earlier
+# ``id(command)`` keys) the key can never alias a recycled address.
+_COMPILE_CACHE = BoundedCache()
+
+
+def compile_cache_stats():
+    """Hit/miss counters of the compile memo (for pipeline reporting)."""
+    return _COMPILE_CACHE.stats()
+
+
+def set_compile_cache_capacity(capacity: int) -> None:
+    """Rebound the compile memo (also settable via the
+    ``ZAR_CFTREE_CACHE_SIZE`` environment variable at import time)."""
+    _COMPILE_CACHE.resize(capacity)
 
 
 def compile_cpgcl(command: Command, sigma: State, coalesce: str = "loopback") -> CFTree:
@@ -53,11 +69,17 @@ def compile_cpgcl(command: Command, sigma: State, coalesce: str = "loopback") ->
     construction used for ``uniform`` commands (see
     :mod:`repro.cftree.uniform`).
     """
-    key = (id(command), sigma, coalesce)
+    command = normalize_command(command)
+    sigma = normalize_state(sigma)
+    # The canonical objects' ids are structural keys in disguise: the
+    # interner maps equal objects to one representative, and the
+    # keepalive tuple pins it so the id cannot be recycled even if the
+    # interner is reset.
+    key = (id(command), id(sigma), coalesce)
     cached = _COMPILE_CACHE.get(key)
     if cached is None:
         cached = _compile(command, sigma, coalesce)
-        _COMPILE_CACHE.put(key, (command,), cached)
+        _COMPILE_CACHE.put(key, (command, sigma), cached)
     return cached
 
 

@@ -111,6 +111,8 @@ def cmd_compile(args, out: TextIO) -> int:
         print("%s:   %s (= %.4f)" % (label, cost, float(cost)), file=out)
     except (CpGCLError, ValueError, ZeroDivisionError):
         pass  # expected cost undefined (e.g. nonterminating loop)
+    if not getattr(args, "no_pipeline", False):
+        _print_pipeline_stats(program, sigma, args, out)
     if args.tree:
         print(file=out)
         # Unfold Fix bodies one step at their entry states, as Figure 3
@@ -120,6 +122,64 @@ def cmd_compile(args, out: TextIO) -> int:
             file=out,
         )
     return 0
+
+
+def _print_pipeline_stats(program, sigma, args, out: TextIO) -> None:
+    """Render the staged pipeline's per-stage metrics (ISSUE 5)."""
+    from repro.compiler.cache import get_cache
+    from repro.compiler.pipeline import compile_program
+    from repro.engine.table import LoweringError
+
+    raw = getattr(args, "passes", None) or "elim_choices,debias,cse"
+    passes = tuple(name.strip() for name in raw.split(",") if name.strip())
+    try:
+        prog = compile_program(
+            program, sigma, passes=passes, measure_raw=True
+        )
+    except LoweringError as err:
+        print("pipeline:  not lowerable (%s)" % err, file=out)
+        return
+    except KeyError as err:
+        raise CliError("pipeline: %s" % (err.args[0],))
+    stats = prog.stats
+    print(file=out)
+    print("pipeline (normalize -> build -> optimize -> lower):", file=out)
+    digest = stats.get("digest")
+    print("  digest:        %s" % (digest or "<undigestable: %s>"
+                                   % stats.get("undigestable")), file=out)
+    build = stats.get("build") or {}
+    print("  build:         %d DAG nodes" % build.get("dag_nodes", 0),
+          file=out)
+    for record in stats.get("optimize", ()):
+        print("  pass %-13s %d -> %d nodes" % (
+            record["name"] + ":",
+            record["dag_nodes_before"],
+            record["dag_nodes_after"],
+        ), file=out)
+    lower = stats.get("lower") or {}
+    reduction = ""
+    if "rows_raw" in lower:
+        reduction = "  (raw %d, -%.1f%% via CSE/dedup/compaction)" % (
+            lower["rows_raw"], lower.get("reduction_pct", 0.0),
+        )
+    print("  lower:         %d table rows%s" % (lower.get("rows", 0),
+                                                reduction), file=out)
+    print("  expansions:    %d eager (%s)" % (
+        lower.get("expansions", 0),
+        "closed" if lower.get("closed") else "open: loop states expand "
+        "lazily during sampling",
+    ), file=out)
+    memo = stats.get("cftree_cache") or {}
+    artifacts = get_cache().stats()
+    print("  compile memo:  %d hits / %d misses (capacity %d)" % (
+        memo.get("hits", 0), memo.get("misses", 0),
+        memo.get("capacity", 0),
+    ), file=out)
+    print("  artifacts:     %d memory + %d disk hits, %d stored%s" % (
+        artifacts["memory_hits"], artifacts["disk_hits"],
+        artifacts["stores"],
+        ", disk %s" % artifacts["disk_dir"] if artifacts["disk_dir"] else "",
+    ), file=out)
 
 
 def cmd_sample(args, out: TextIO) -> int:

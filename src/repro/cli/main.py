@@ -70,6 +70,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-depth", type=int, default=8,
         help="depth cutoff for --tree (default 8)",
     )
+    p_compile.add_argument(
+        "--passes", default=None, metavar="P1,P2,...",
+        help="pipeline pass list for the stage report (default "
+        "elim_choices,debias,cse; see repro.compiler.passes)",
+    )
+    p_compile.add_argument(
+        "--no-pipeline", action="store_true",
+        help="skip the staged-pipeline report (tree statistics only)",
+    )
     p_compile.set_defaults(run=cmd_compile)
 
     p_sample = sub.add_parser(

@@ -1,0 +1,60 @@
+"""The staged compiler pipeline (normalize -> build -> optimize -> lower).
+
+Public surface::
+
+    from repro.compiler import Pipeline, compile_program
+
+    prog = compile_program(n_sided_die(6))
+    prog.stats["lower"]["rows"]      # node-table rows after CSE/compaction
+    samples = prog.sampler().collect(100_000, seed=7)
+
+Submodules:
+
+- :mod:`repro.compiler.digest`    -- content-addressed fingerprints;
+- :mod:`repro.compiler.normalize` -- structural hash-consing of commands
+  and states (replaces the seed's ``id(...)``-keyed memo keys);
+- :mod:`repro.compiler.cse`       -- the hash-consing/CSE pass turning
+  CF trees into shared DAGs;
+- :mod:`repro.compiler.passes`    -- the pass registry;
+- :mod:`repro.compiler.cache`     -- in-memory LRU + on-disk artifact
+  cache keyed by program/state/pass-list digest;
+- :mod:`repro.compiler.pipeline`  -- ``Pipeline``/``CompiledProgram``.
+
+Attribute access is lazy: ``repro.cftree.compile`` imports the normalize
+stage from here, so the package must not eagerly import the pipeline
+(which imports ``repro.cftree`` back).
+"""
+
+_EXPORTS = {
+    "Pipeline": "repro.compiler.pipeline",
+    "CompiledProgram": "repro.compiler.pipeline",
+    "compile_program": "repro.compiler.pipeline",
+    "compile_tree": "repro.compiler.pipeline",
+    "default_pipeline": "repro.compiler.pipeline",
+    "DEFAULT_PASSES": "repro.compiler.passes",
+    "Pass": "repro.compiler.passes",
+    "PASS_REGISTRY": "repro.compiler.passes",
+    "register_pass": "repro.compiler.passes",
+    "cse": "repro.compiler.cse",
+    "TreeInterner": "repro.compiler.cse",
+    "CompilationCache": "repro.compiler.cache",
+    "get_cache": "repro.compiler.cache",
+    "configure_cache": "repro.compiler.cache",
+    "fingerprint": "repro.compiler.digest",
+    "program_digest": "repro.compiler.digest",
+    "Undigestable": "repro.compiler.digest",
+    "normalize_command": "repro.compiler.normalize",
+    "normalize_state": "repro.compiler.normalize",
+    "Interner": "repro.compiler.normalize",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

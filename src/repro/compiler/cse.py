@@ -1,0 +1,133 @@
+"""Hash-consing / common-subexpression elimination over CF trees.
+
+``compile_cpgcl`` and the ``uniform_tree``/``bernoulli_tree``
+constructions routinely produce *structurally equal but distinct*
+subtrees: ``bind`` rebuilds every Choice spine it maps over, loop bodies
+are recompiled per entry state, and rejection paddings repeat the same
+outcome leaves.  ``cse`` rewrites a tree into a maximally-shared DAG:
+after the pass, two subtrees are structurally equal **iff they are the
+same object**.  Sharing is what the engine's lowering memo
+(:mod:`repro.engine.table`) keys on, so CSE directly shrinks node
+tables; it also makes repeated structural-equality checks (`elim`,
+coalescing) O(1) pointer comparisons on interned nodes.
+
+The pass is semantics-preserving and *bit-exact*: it never changes the
+shape of any root-to-leaf path, only aliases equal subtrees, so the
+consumed bit sequence of every sample is unchanged (the differential
+suite pins this).
+
+``Fix`` nodes contain closures and compare by identity; they cannot be
+merged, but the pass pushes interning *through* them lazily (the loop
+body generator is composed with ``cse``), so the duplicated trees
+produced by per-state loop-body recompilation are shared when the
+engine's JIT expansion forces them -- this is where unbounded-state
+programs (geometric, hare-tortoise) see most of their sharing.
+
+Idempotence (``cse(cse(t)) == cse(t)``, and ``is`` for Fix-free trees
+under one interner) is checked by a Hypothesis sweep in the test suite.
+"""
+
+from typing import Dict, Tuple
+
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+
+_FAIL = Fail()
+
+
+class TreeInterner:
+    """Bottom-up hash-consing of ``Leaf``/``Fail``/``Choice`` nodes.
+
+    Children are interned before parents, so a ``Choice`` can be keyed
+    on its children's *identities* -- O(1) per node instead of the
+    O(subtree) deep hashing that structural keys would cost.  The
+    interner holds strong references to every canonical node, so the
+    identity keys are stable for its lifetime.
+    """
+
+    def __init__(self):
+        self._leaves: Dict[Tuple[type, object], Leaf] = {}
+        self._choices: Dict[Tuple[object, int, int], Choice] = {}
+        # id(tree) -> (tree, canonical): the already-interned fast path.
+        self._done: Dict[int, Tuple[CFTree, CFTree]] = {}
+        self._fix_wrappers: Dict[int, Tuple[Fix, Fix]] = {}
+        self.shared = 0  # nodes aliased to an existing representative
+        self.kept = 0  # nodes that became representatives
+
+    def intern(self, tree: CFTree) -> CFTree:
+        entry = self._done.get(id(tree))
+        if entry is not None and entry[0] is tree:
+            return entry[1]
+        canonical = self._build(tree)
+        self._done[id(tree)] = (tree, canonical)
+        self._done[id(canonical)] = (canonical, canonical)
+        return canonical
+
+    def _build(self, tree: CFTree) -> CFTree:
+        if isinstance(tree, Leaf):
+            try:
+                key = (type(tree.value), tree.value)
+                hit = self._leaves.get(key)
+            except TypeError:  # unhashable leaf value: keep as-is
+                self.kept += 1
+                return tree
+            if hit is not None:
+                self.shared += 1
+                return hit
+            self._leaves[key] = tree
+            self.kept += 1
+            return tree
+        if isinstance(tree, Fail):
+            if tree is not _FAIL:
+                self.shared += 1
+            return _FAIL
+        if isinstance(tree, Choice):
+            left = self.intern(tree.left)
+            right = self.intern(tree.right)
+            key = (tree.prob, id(left), id(right))
+            hit = self._choices.get(key)
+            if hit is not None:
+                self.shared += 1
+                return hit
+            if left is tree.left and right is tree.right:
+                canonical = tree
+            else:
+                canonical = Choice(tree.prob, left, right)
+            self._choices[key] = canonical
+            self.kept += 1
+            return canonical
+        if isinstance(tree, Fix):
+            return self._wrap_fix(tree)
+        raise TypeError("not a CF tree: %r" % (tree,))
+
+    def _wrap_fix(self, fix: Fix) -> Fix:
+        entry = self._fix_wrappers.get(id(fix))
+        if entry is not None and entry[0] is fix:
+            return entry[1]
+        body, cont = fix.body, fix.cont
+        wrapper = Fix(
+            fix.init,
+            fix.guard,
+            lambda s: self.intern(body(s)),
+            lambda s: self.intern(cont(s)),
+        )
+        self._fix_wrappers[id(fix)] = (fix, wrapper)
+        # The wrapper is its own canonical form: re-interning it (e.g.
+        # in cse(cse(t))) must be the identity, not a second wrapping.
+        self._done[id(wrapper)] = (wrapper, wrapper)
+        self.kept += 1
+        return wrapper
+
+    def stats(self) -> Dict[str, int]:
+        return {"shared": self.shared, "kept": self.kept}
+
+
+def cse(tree: CFTree, interner: TreeInterner = None) -> CFTree:
+    """Rewrite ``tree`` into a maximally-shared DAG.
+
+    With an explicit ``interner``, sharing extends across multiple
+    trees (the pipeline uses one interner per compilation so that
+    lazily-expanded loop bodies share with the main tree).
+    """
+    if interner is None:
+        interner = TreeInterner()
+    return interner.intern(tree)

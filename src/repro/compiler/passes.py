@@ -1,0 +1,164 @@
+"""The optimize stage: a registry of semantics-preserving tree passes.
+
+A :class:`Pass` rewrites a CF tree (possibly lazily through ``Fix``
+generators) without changing its ``tcwp`` semantics or -- for passes in
+the default list -- the bit-for-bit sample stream of the lowered
+sampler.  The registry wraps the seed's ad-hoc function calls
+(``elim_choices``, ``debias``) as named passes, adds standalone leaf
+coalescing, and introduces the hash-consing/CSE pass
+(:mod:`repro.compiler.cse`).
+
+Registering a custom pass::
+
+    from repro.compiler.passes import register_pass
+
+    @register_pass("strip_skips")
+    def strip_skips(tree, ctx):
+        ...  # return a rewritten CFTree
+
+    Pipeline(passes=("elim_choices", "strip_skips", "debias", "cse"))
+
+Pass-order contract (checked by the test suite):
+
+- ``elim_choices`` runs before ``debias`` (it deletes trivial choices
+  the debiaser would otherwise expand into coin-flip schemes);
+- ``debias`` must precede lowering (the engine rejects biased choices);
+- ``cse`` runs last so it sees the final shapes; it is idempotent and
+  commutes with the others up to sharing.
+"""
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.cftree.debias import debias
+from repro.cftree.elim import elim_choices
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+from repro.compiler.cse import TreeInterner, cse
+
+
+class PassContext:
+    """Per-compilation state threaded through passes."""
+
+    __slots__ = ("coalesce", "interner")
+
+    def __init__(self, coalesce: str = "loopback",
+                 interner: Optional[TreeInterner] = None):
+        self.coalesce = coalesce
+        # One interner per compilation: lazily-expanded loop bodies
+        # share submitted trees with the main lowering.
+        self.interner = interner if interner is not None else TreeInterner()
+
+
+class Pass:
+    """A named, registered tree-to-tree rewrite."""
+
+    __slots__ = ("name", "fn", "doc")
+
+    def __init__(self, name: str, fn: Callable[[CFTree, PassContext], CFTree],
+                 doc: str = ""):
+        self.name = name
+        self.fn = fn
+        self.doc = doc or (fn.__doc__ or "")
+
+    def run(self, tree: CFTree, ctx: PassContext) -> CFTree:
+        return self.fn(tree, ctx)
+
+    def __repr__(self):
+        return "Pass(%r)" % (self.name,)
+
+
+PASS_REGISTRY: Dict[str, Pass] = {}
+
+
+def register_pass(name: str, fn=None, *, replace: bool = False):
+    """Register a pass (usable as a decorator).
+
+    ``replace=True`` permits overriding an existing name (e.g. swapping
+    a builtin for an instrumented variant in tests).
+    """
+
+    def install(func):
+        if name in PASS_REGISTRY and not replace:
+            raise ValueError("pass %r is already registered" % (name,))
+        PASS_REGISTRY[name] = Pass(name, func)
+        return func
+
+    if fn is not None:
+        return install(fn)
+    return install
+
+
+def resolve_passes(names) -> Tuple[Pass, ...]:
+    """Look up a pass list by name, preserving order."""
+    out = []
+    for name in names:
+        entry = PASS_REGISTRY.get(name)
+        if entry is None:
+            raise KeyError(
+                "unknown pass %r (registered: %s)"
+                % (name, ", ".join(sorted(PASS_REGISTRY)))
+            )
+        out.append(entry)
+    return tuple(out)
+
+
+# -- builtin passes -------------------------------------------------------
+
+
+@register_pass("elim_choices")
+def _pass_elim(tree: CFTree, ctx: PassContext) -> CFTree:
+    """Definition 3.13: drop bias-0/1 choices and coalesce equal branches."""
+    return elim_choices(tree)
+
+
+@register_pass("debias")
+def _pass_debias(tree: CFTree, ctx: PassContext) -> CFTree:
+    """Appendix A: replace biased choices by fair coin-flipping schemes."""
+    return debias(tree, ctx.coalesce)
+
+
+@register_pass("cse")
+def _pass_cse(tree: CFTree, ctx: PassContext) -> CFTree:
+    """Hash-cons the tree into a shared DAG (see repro.compiler.cse)."""
+    return cse(tree, ctx.interner)
+
+
+def _coalesce(tree: CFTree, memo: Dict[int, Tuple[CFTree, CFTree]]) -> CFTree:
+    entry = memo.get(id(tree))
+    if entry is not None and entry[0] is tree:
+        return entry[1]
+    if isinstance(tree, (Leaf, Fail)):
+        result = tree
+    elif isinstance(tree, Choice):
+        left = _coalesce(tree.left, memo)
+        right = _coalesce(tree.right, memo)
+        if left == right:
+            result = left
+        elif left is tree.left and right is tree.right:
+            result = tree
+        else:
+            result = Choice(tree.prob, left, right)
+    elif isinstance(tree, Fix):
+        body, cont = tree.body, tree.cont
+        result = Fix(
+            tree.init,
+            tree.guard,
+            lambda s: _coalesce(body(s), memo),
+            lambda s: _coalesce(cont(s), memo),
+        )
+    else:
+        raise TypeError("not a CF tree: %r" % (tree,))
+    memo[id(tree)] = (tree, result)
+    return result
+
+
+@register_pass("coalesce_leaves")
+def _pass_coalesce(tree: CFTree, ctx: PassContext) -> CFTree:
+    """Merge choices between structurally equal subtrees (Appendix A
+    step 5 in its "full" reading).  Subsumed by ``elim_choices`` but
+    exposed standalone for the coalescing ablation; note it *changes*
+    expected bit consumption (fewer flips), unlike ``cse``."""
+    return _coalesce(tree, {})
+
+
+#: The Definition 3.13 pipeline plus hash-consing.
+DEFAULT_PASSES: Tuple[str, ...] = ("elim_choices", "debias", "cse")

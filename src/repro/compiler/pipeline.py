@@ -1,0 +1,478 @@
+"""``Pipeline``: the staged compiler (normalize -> build -> optimize -> lower).
+
+The seed ran Definition 3.13 as ad-hoc function calls
+(``compile_cpgcl`` -> ``elim_choices`` -> ``debias`` -> ``lower_cftree``)
+scattered across every entry point.  The pipeline makes the stages
+explicit, named, and inspectable:
+
+- **normalize** -- intern the command and initial state to canonical
+  representatives (structural hashing, :mod:`repro.compiler.normalize`)
+  and derive the content digest that keys the compilation cache;
+- **build** -- CF-tree construction (Definition 3.5);
+- **optimize** -- run the registered pass list
+  (:mod:`repro.compiler.passes`), recording DAG node counts before and
+  after each pass;
+- **lower** -- DAG-aware :class:`~repro.engine.table.NodeTable`
+  emission: hash-consed row allocation, a bounded eager expansion of
+  loop entries, and a compaction that threads jumps and merges
+  congruent rows.
+
+``compile`` returns a :class:`CompiledProgram`: the final tree, the
+node table, and a ``stats`` dict with per-stage metrics (the CLI's
+``compile`` subcommand renders it).  Results are cached by content
+digest -- in memory and, when configured, on disk -- so repeated
+``BatchSampler.from_command`` calls, CLI invocations, harness rows, and
+MCMC replays across processes reuse compiled artifacts.
+"""
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.cftree.compile import compile_cache_stats, compile_cpgcl
+from repro.cftree.tree import CFTree, Choice, Fix
+from repro.compiler.cache import CompilationCache, get_cache
+from repro.compiler.digest import Undigestable, fingerprint, program_digest
+from repro.compiler.normalize import (
+    normalize_command,
+    normalize_state,
+    normalize_stats,
+)
+from repro.compiler.passes import (
+    DEFAULT_PASSES,
+    PassContext,
+    resolve_passes,
+)
+from repro.engine.table import NodeTable
+from repro.lang.state import State
+from repro.lang.syntax import Command
+
+#: Default bound on build-time loop-entry expansions.  Expansions beyond
+#: the bound happen lazily during sampling exactly as before; the eager
+#: budget just gives compaction a representative table to shrink.
+EAGER_EXPAND_DEFAULT = 1024
+
+
+def dag_size(tree: CFTree, unfold_fix: bool = True) -> int:
+    """Distinct nodes reachable from ``tree``, shared subtrees counted once.
+
+    The metric the per-pass stats report: ``tree_size`` counts tree
+    paths, which double-counts shared subtrees and hides exactly what
+    CSE buys.  With ``unfold_fix`` each ``Fix`` is unfolded one step at
+    its entry state (the same evaluation eager lowering performs), so
+    loop bodies contribute; the unfolding terminates because a loop's
+    body tree never contains the loop's own ``Fix`` node again (leaves
+    re-enter it through the lowering memo instead).
+    """
+    seen = set()
+    stack = [tree]
+    count = 0
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        count += 1
+        if isinstance(node, Choice):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, Fix) and unfold_fix:
+            if node.guard(node.init):
+                stack.append(node.body(node.init))
+            else:
+                stack.append(node.cont(node.init))
+    return count
+
+
+class CompiledProgram:
+    """The pipeline's artifact: final tree, node table, per-stage stats."""
+
+    __slots__ = (
+        "command",
+        "sigma",
+        "coalesce",
+        "passes",
+        "tree",
+        "table",
+        "digest",
+        "stats",
+        "source",
+    )
+
+    def __init__(self, command, sigma, coalesce, passes, tree, table,
+                 digest, stats, source="built"):
+        self.command = command
+        self.sigma = sigma
+        self.coalesce = coalesce
+        self.passes = tuple(passes)
+        self.tree = tree  # None when rehydrated from the disk cache
+        self.table = table
+        self.digest = digest
+        self.stats = stats
+        # "built" = constructed in this process, "disk" = rehydrated
+        # from the on-disk tier.  In-memory cache hits return the
+        # original object (source unchanged); observe hit counts through
+        # CompilationCache.stats() instead.
+        self.source = source
+
+    # -- sampling --------------------------------------------------------
+
+    def sampler(self, tied: bool = True):
+        """A :class:`~repro.engine.api.BatchSampler` over the table."""
+        from repro.engine.api import BatchSampler
+
+        return BatchSampler(self.table, tied=tied)
+
+    def collect(self, n, **kwargs):
+        return self.sampler().collect(n, **kwargs)
+
+    def sample(self, source, max_steps=None):
+        return self.sampler().sample(source, max_steps)
+
+    # -- disk round-trip -------------------------------------------------
+
+    def disk_payload(self) -> Optional[dict]:
+        """A picklable record, or None (open tables contain closures).
+
+        Unpicklable payload values (exotic leaf objects) are caught by
+        the cache's store path, which discards the artifact.
+        """
+        table = self.table
+        if table.pending_stubs:
+            return None
+        return {
+            "digest": self.digest,
+            "coalesce": self.coalesce,
+            "passes": self.passes,
+            "max_nodes": table.max_nodes,
+            "op": list(table.op),
+            "a": list(table.a),
+            "b": list(table.b),
+            "payload": list(table.payload),
+            "payloads": list(table.payloads),
+            "root": table.root,
+            "stats": self.stats,
+        }
+
+    @classmethod
+    def from_disk_payload(cls, payload: dict) -> "CompiledProgram":
+        table = NodeTable(payload["max_nodes"])
+        table.op = list(payload["op"])
+        table.a = list(payload["a"])
+        table.b = list(payload["b"])
+        table.payload = list(payload["payload"])
+        table.payloads = list(payload["payloads"])
+        table.root = payload["root"]
+        table.version = 1
+        stats = dict(payload.get("stats") or {})
+        return cls(
+            command=None,
+            sigma=None,
+            coalesce=payload["coalesce"],
+            passes=payload["passes"],
+            tree=None,
+            table=table,
+            digest=payload["digest"],
+            stats=stats,
+            source="disk",
+        )
+
+    def __repr__(self):
+        return "CompiledProgram(%s, %d rows, passes=%s, source=%s)" % (
+            (self.digest or "<undigestable>")[:12],
+            len(self.table),
+            "+".join(self.passes),
+            self.source,
+        )
+
+
+class Pipeline:
+    """A configured staged compiler; cheap to construct, safe to share."""
+
+    def __init__(
+        self,
+        passes: Tuple[str, ...] = DEFAULT_PASSES,
+        coalesce: str = "loopback",
+        max_nodes: int = 2_000_000,
+        dedupe: bool = True,
+        eager_expand: int = EAGER_EXPAND_DEFAULT,
+        compact: bool = True,
+        cache: Optional[CompilationCache] = None,
+        use_cache: bool = True,
+    ):
+        self.pass_names = tuple(passes)
+        self.passes = resolve_passes(passes)
+        self.coalesce = coalesce
+        self.max_nodes = max_nodes
+        self.dedupe = dedupe
+        self.eager_expand = eager_expand
+        self.compact = compact
+        self.use_cache = use_cache
+        self._cache = cache
+        # Table-shaping knobs beyond the core (program, coalesce,
+        # passes, max_nodes) key -- part of every cache digest so
+        # differently-configured pipelines never collide on one entry.
+        self._digest_options = (
+            "dedupe", dedupe,
+            "eager_expand", eager_expand,
+            "compact", compact,
+        )
+
+    @property
+    def cache(self) -> CompilationCache:
+        return self._cache if self._cache is not None else get_cache()
+
+    # -- the stages ------------------------------------------------------
+
+    def compile(
+        self,
+        command: Command,
+        sigma: Optional[State] = None,
+        measure_raw: bool = False,
+    ) -> CompiledProgram:
+        """Run all stages on ``(command, sigma)``.
+
+        ``measure_raw=True`` additionally lowers the program *without*
+        the CSE/dedupe/compaction machinery and records the row-count
+        delta under ``stats["lower"]["rows_raw"]`` (used by ``zar
+        compile`` and the compiler benchmark; costs a second lowering).
+        """
+        sigma = sigma if sigma is not None else State()
+
+        # normalize ------------------------------------------------------
+        t0 = time.perf_counter()
+        command = normalize_command(command)
+        sigma = normalize_state(sigma)
+        digest = None
+        undigestable = None
+        try:
+            digest = program_digest(
+                command, sigma, self.coalesce, self.pass_names,
+                self.max_nodes, self._digest_options,
+            )
+        except Undigestable as err:
+            undigestable = str(err)
+        normalize_seconds = time.perf_counter() - t0
+
+        cache = self.cache if self.use_cache else None
+        if digest is not None and cache is not None and not measure_raw:
+            hit = cache.get(digest)
+            if hit is not None:
+                return hit
+
+        stats: Dict[str, object] = {
+            "digest": digest,
+            "undigestable": undigestable,
+            "coalesce": self.coalesce,
+            "passes": list(self.pass_names),
+            "normalize": dict(normalize_stats(), seconds=normalize_seconds),
+        }
+
+        # build ----------------------------------------------------------
+        t0 = time.perf_counter()
+        tree = compile_cpgcl(command, sigma, self.coalesce)
+        stats["build"] = {
+            "seconds": time.perf_counter() - t0,
+            "dag_nodes": dag_size(tree),
+        }
+
+        # optimize -------------------------------------------------------
+        ctx = PassContext(coalesce=self.coalesce)
+        tree, pass_stats = self._optimize(tree, ctx)
+        stats["optimize"] = pass_stats
+
+        # lower ----------------------------------------------------------
+        table, lower_stats = self._lower(tree)
+        if measure_raw:
+            lower_stats.update(self._measure_raw(command, sigma, len(table)))
+        stats["lower"] = lower_stats
+        stats["cftree_cache"] = compile_cache_stats()
+
+        program = CompiledProgram(
+            command, sigma, self.coalesce, self.pass_names,
+            tree, table, digest, stats,
+        )
+        if digest is not None and cache is not None:
+            cache.put(digest, program)
+        return program
+
+    def compile_tree(
+        self,
+        tree: CFTree,
+        key_parts: Optional[tuple] = None,
+        measure_raw: bool = False,
+    ) -> CompiledProgram:
+        """Pipeline a pre-built CF tree (``uniform_tree``, categorical
+        stick-breaking, ...) through optimize + lower.
+
+        ``key_parts`` names the construction for content addressing when
+        the tree itself is undigestable (rejection wrappers contain
+        ``Fix`` closures): e.g. ``("uniform_tree", 6, "loopback")``.
+        """
+        digest = None
+        undigestable = None
+        try:
+            if key_parts is not None:
+                digest = fingerprint(
+                    "tree-key", tuple(key_parts), self.coalesce,
+                    self.pass_names, self.max_nodes, self._digest_options,
+                )
+            else:
+                digest = fingerprint(
+                    "tree", tree, self.coalesce, self.pass_names,
+                    self.max_nodes, self._digest_options,
+                )
+        except Undigestable as err:
+            undigestable = str(err)
+
+        cache = self.cache if self.use_cache else None
+        if digest is not None and cache is not None and not measure_raw:
+            hit = cache.get(digest)
+            if hit is not None:
+                return hit
+
+        stats: Dict[str, object] = {
+            "digest": digest,
+            "undigestable": undigestable,
+            "coalesce": self.coalesce,
+            "passes": list(self.pass_names),
+        }
+        ctx = PassContext(coalesce=self.coalesce)
+        source = tree
+        tree, pass_stats = self._optimize(tree, ctx)
+        stats["optimize"] = pass_stats
+        table, lower_stats = self._lower(tree)
+        if measure_raw:
+            raw = self._raw_rows(source)
+            lower_stats["rows_raw"] = raw
+            lower_stats["reduction_pct"] = _reduction(raw, len(table))
+        stats["lower"] = lower_stats
+
+        program = CompiledProgram(
+            None, None, self.coalesce, self.pass_names,
+            tree, table, digest, stats,
+        )
+        if digest is not None and cache is not None:
+            cache.put(digest, program)
+        return program
+
+    # -- helpers ---------------------------------------------------------
+
+    def _optimize(self, tree, ctx):
+        records: List[dict] = []
+        before = dag_size(tree)
+        for entry in self.passes:
+            t0 = time.perf_counter()
+            tree = entry.run(tree, ctx)
+            seconds = time.perf_counter() - t0
+            after = dag_size(tree)
+            records.append(
+                {
+                    "name": entry.name,
+                    "dag_nodes_before": before,
+                    "dag_nodes_after": after,
+                    "seconds": seconds,
+                }
+            )
+            before = after
+        return tree, records
+
+    def _lower(self, tree):
+        t0 = time.perf_counter()
+        table = NodeTable.from_cftree(tree, self.max_nodes, self.dedupe)
+        closed = table.expand_all(limit=self.eager_expand)
+        removed = table.compact() if self.compact else 0
+        return table, {
+            "rows": len(table),
+            "closed": closed,
+            "expansions": table.expansions,
+            "dedup_hits": table.dedup_hits,
+            "compacted_rows": removed,
+            "seconds": time.perf_counter() - t0,
+        }
+
+    def _raw_rows(self, tree) -> int:
+        """Rows of the baseline lowering: the pass list *minus* the CSE
+        pass, no row dedupe, no compaction, same expansion budget --
+        what the ``rows_raw``/``reduction_pct`` stats compare against."""
+        ctx = PassContext(coalesce=self.coalesce)
+        raw_names = tuple(n for n in self.pass_names if n != "cse")
+        for entry in resolve_passes(raw_names):
+            tree = entry.run(tree, ctx)
+        table = NodeTable.from_cftree(tree, self.max_nodes, dedupe=False)
+        table.expand_all(limit=self.eager_expand)
+        return len(table)
+
+    def _measure_raw(self, command, sigma, optimized_rows):
+        rows_raw = self._raw_rows(
+            compile_cpgcl(command, sigma, self.coalesce)
+        )
+        return {
+            "rows_raw": rows_raw,
+            "reduction_pct": _reduction(rows_raw, optimized_rows),
+        }
+
+
+def _reduction(raw: int, optimized: int) -> float:
+    if raw <= 0:
+        return 0.0
+    return round(100.0 * (raw - optimized) / raw, 2)
+
+
+#: The shared default pipeline behind ``BatchSampler.from_command`` etc.
+_DEFAULT: Optional[Pipeline] = None
+
+
+def default_pipeline() -> Pipeline:
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Pipeline()
+    return _DEFAULT
+
+
+def compile_program(
+    command: Command,
+    sigma: Optional[State] = None,
+    passes: Tuple[str, ...] = DEFAULT_PASSES,
+    coalesce: str = "loopback",
+    max_nodes: int = 2_000_000,
+    use_cache: bool = True,
+    measure_raw: bool = False,
+) -> CompiledProgram:
+    """Compile through a (possibly shared) pipeline.
+
+    The default-configuration fast path reuses one ``Pipeline`` instance
+    so every entry point shares the same compilation cache.
+    """
+    if (
+        passes == DEFAULT_PASSES
+        and coalesce == "loopback"
+        and max_nodes == 2_000_000
+        and use_cache
+    ):
+        pipeline = default_pipeline()
+    else:
+        pipeline = Pipeline(
+            passes=passes,
+            coalesce=coalesce,
+            max_nodes=max_nodes,
+            use_cache=use_cache,
+        )
+    return pipeline.compile(command, sigma, measure_raw=measure_raw)
+
+
+def compile_tree(
+    tree: CFTree,
+    key_parts: Optional[tuple] = None,
+    passes: Tuple[str, ...] = ("debias", "cse"),
+    coalesce: str = "loopback",
+    max_nodes: int = 2_000_000,
+    use_cache: bool = True,
+) -> CompiledProgram:
+    """Pipeline a pre-built CF tree (see :meth:`Pipeline.compile_tree`)."""
+    pipeline = Pipeline(
+        passes=passes,
+        coalesce=coalesce,
+        max_nodes=max_nodes,
+        use_cache=use_cache,
+    )
+    return pipeline.compile_tree(tree, key_parts=key_parts)

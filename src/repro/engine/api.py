@@ -20,13 +20,10 @@ harness and benchmarks consume either interchangeably.  Backends:
 from typing import Callable, List, NamedTuple, Optional
 
 from repro.bits.source import BitSource, CountingBits
-from repro.cftree.debias import debias
-from repro.cftree.elim import elim_choices
-from repro.cftree.compile import compile_cpgcl
 from repro.cftree.tree import CFTree
 from repro.engine import driver as _driver
 from repro.engine.pool import BitPool, HAVE_NUMPY
-from repro.engine.table import LoweringError, NodeTable, lower_cftree
+from repro.engine.table import LoweringError, NodeTable
 from repro.lang.state import State
 from repro.lang.syntax import Command
 from repro.sampler.record import SampleSet
@@ -96,14 +93,25 @@ class BatchSampler:
         eliminate: bool = True,
         max_nodes: int = 2_000_000,
     ) -> "BatchSampler":
-        """Lower ``command`` through the Definition 3.13 pipeline
-        (compile, ``elim_choices``, ``debias``) into a node table."""
-        sigma = sigma if sigma is not None else State()
-        tree = compile_cpgcl(command, sigma, coalesce)
-        if eliminate:
-            tree = elim_choices(tree)
-        tree = debias(tree, coalesce)
-        return cls(lower_cftree(tree, max_nodes))
+        """Lower ``command`` through the staged compiler pipeline
+        (normalize, compile, ``elim_choices``, ``debias``, ``cse``) into
+        a deduplicated node table; artifacts are shared through the
+        content-addressed compilation cache (:mod:`repro.compiler`)."""
+        from repro.compiler.pipeline import compile_program
+
+        passes = (
+            ("elim_choices", "debias", "cse")
+            if eliminate
+            else ("debias", "cse")
+        )
+        program = compile_program(
+            command,
+            sigma,
+            passes=passes,
+            coalesce=coalesce,
+            max_nodes=max_nodes,
+        )
+        return cls(program.table)
 
     @classmethod
     def from_cftree(
@@ -113,9 +121,13 @@ class BatchSampler:
         apply_debias: bool = True,
         max_nodes: int = 2_000_000,
     ) -> "BatchSampler":
-        if apply_debias:
-            tree = debias(tree, coalesce)
-        return cls(lower_cftree(tree, max_nodes))
+        from repro.compiler.pipeline import compile_tree
+
+        passes = ("debias", "cse") if apply_debias else ("cse",)
+        program = compile_tree(
+            tree, passes=passes, coalesce=coalesce, max_nodes=max_nodes
+        )
+        return cls(program.table)
 
     # -- sampling --------------------------------------------------------
 

@@ -85,15 +85,25 @@ class _LoopK:
 
 
 class NodeTable:
-    """An array-encoded sampler with JIT-expanded loop entries."""
+    """An array-encoded sampler with JIT-expanded loop entries.
 
-    def __init__(self, max_nodes: int = 2_000_000):
+    With ``dedupe`` (the default), allocation hash-conses immutable rows:
+    children are emitted before parents, so requesting a ``BIT``/``LEAF``
+    row identical to an existing one returns the existing index -- this
+    is bottom-up common-subexpression elimination at the row level, and
+    it composes with the tree-level CSE pass (:mod:`repro.compiler.cse`)
+    to keep duplicated subtrees out of the table entirely.  ``STUB``
+    rows are mutable (they become jumps) and are never deduplicated.
+    """
+
+    def __init__(self, max_nodes: int = 2_000_000, dedupe: bool = True):
         self.op: List[int] = []
         self.a: List[int] = []  # True-branch / jump target
         self.b: List[int] = []  # False-branch target
         self.payload: List[int] = []
         self.payloads: List[object] = []
         self.max_nodes = max_nodes
+        self.dedupe = dedupe
         self.root = -1
         # Monotone counter bumped on every structural change; drivers
         # use it to refresh derived (numpy) views incrementally.
@@ -104,18 +114,36 @@ class NodeTable:
         self._enter_memo: Dict[Tuple[int, int, object], Tuple[Fix, int]] = {}
         self._loopk_intern: Dict[Tuple[int, int], _LoopK] = {}
         self._pending: Dict[int, Tuple[Fix, object, object]] = {}
+        self._row_intern: Dict[Tuple[int, int, int, int], int] = {}
         self.expansions = 0
+        self.dedup_hits = 0
+        self.compacted_rows = 0
 
     # -- construction ----------------------------------------------------
 
     @classmethod
-    def from_cftree(cls, tree: CFTree, max_nodes: int = 2_000_000) -> "NodeTable":
+    def from_cftree(
+        cls,
+        tree: CFTree,
+        max_nodes: int = 2_000_000,
+        dedupe: bool = True,
+    ) -> "NodeTable":
         """Lower a *debiased* CF tree; the root is set to its entry node."""
-        table = cls(max_nodes)
+        table = cls(max_nodes, dedupe)
         table.root = table._lower(tree, _HALT)
         return table
 
     def _alloc(self, op: int, a: int = -1, b: int = -1, payload: int = -1) -> int:
+        if self.dedupe and op != OP_STUB:
+            # Immutable rows only: a STUB mutates into a JMP later, so
+            # its row can never be shared.  BIT child indices are stable
+            # (rows are append-only apart from in-place stub expansion,
+            # which keeps its index), so the key cannot go stale.
+            key = (op, a, b, payload)
+            hit = self._row_intern.get(key)
+            if hit is not None:
+                self.dedup_hits += 1
+                return hit
         if len(self.op) >= self.max_nodes:
             raise TableOverflow(
                 "node table exceeded %d nodes (loop state space too "
@@ -126,6 +154,8 @@ class NodeTable:
         self.a.append(a)
         self.b.append(b)
         self.payload.append(payload)
+        if self.dedupe and op != OP_STUB:
+            self._row_intern[(op, a, b, payload)] = index
         self.version += 1
         return index
 
@@ -223,6 +253,17 @@ class NodeTable:
             target = self._lower(fix.body(state), self._loopk(fix, k))
         else:
             target = self._lower(fix.cont(state), k)
+        # Thread through jump chains so drivers pay at most one hop per
+        # loop entry (cycle-safe: a divergent loop can jump to itself).
+        seen = None
+        while self.op[target] == OP_JMP:
+            if seen is None:
+                seen = {index, target}
+            nxt = self.a[target]
+            if nxt in seen:
+                break
+            seen.add(nxt)
+            target = nxt
         self.op[index] = OP_JMP
         self.a[index] = target
         self.version += 1
@@ -251,6 +292,172 @@ class NodeTable:
             else:
                 return index
 
+    # -- compaction ------------------------------------------------------
+
+    def _final_target(self, index: int, memo: Dict[int, int]) -> int:
+        """Follow JMP chains without expanding; cycle-safe.
+
+        A pure-jump cycle (a loop that diverges without consuming bits)
+        resolves to a member of the cycle, which stays a live JMP row.
+        """
+        path = []
+        on_path = set()
+        while True:
+            hit = memo.get(index)
+            if hit is not None:
+                index = hit
+                break
+            if self.op[index] != OP_JMP or index in on_path:
+                break
+            path.append(index)
+            on_path.add(index)
+            index = self.a[index]
+        for j in path:
+            memo[j] = index
+        return index
+
+    def compact(self) -> int:
+        """Deduplicate the table in place; returns rows removed.
+
+        Three DAG-aware rewrites, iterated to a fixed point:
+
+        1. *jump threading* -- every reference through a ``JMP`` chain is
+           rewritten to the chain's final row, making the jumps garbage;
+        2. *congruence merging* -- rows with identical
+           ``(op, a, b, payload)`` after threading are merged bottom-up
+           (value numbering over the row graph), which catches duplicate
+           subgraphs produced by separate stub expansions that the
+           allocation-time interning could not see (their rows were
+           emitted as mutable stubs);
+        3. *reachability* -- rows no longer referenced from the root, a
+           pending stub, or a lowering-memo entry are dropped and the
+           table renumbered.
+
+        None of this changes any root-to-leaf bit sequence: jumps
+        consume no bits and merged rows are behaviorally identical, so
+        samples remain bit-for-bit what the trampoline produces.  Call
+        between sampling runs only (drivers snapshot row arrays); the
+        pipeline compacts once at build time.
+        """
+        before = len(self.op)
+        op, a, b, payload = self.op, self.a, self.b, self.payload
+        final: Dict[int, int] = {}
+
+        # Stubs (mutable) and jump-cycle members must never merge; give
+        # them unique congruence keys.
+        def row_key(i: int, canon) -> tuple:
+            o = op[i]
+            if o == OP_BIT:
+                return (o, canon(a[i]), canon(b[i]), -1)
+            if o == OP_LEAF:
+                return (o, -1, -1, payload[i])
+            if o == OP_FAIL:
+                return (o, -1, -1, -1)
+            return (o, "unique", i, -1)
+
+        # Union-find over rows, seeded by jump threading.
+        parent = list(range(before))
+
+        def find(i: int) -> int:
+            root = i
+            while parent[root] != root:
+                root = parent[root]
+            while parent[i] != root:
+                parent[i], i = root, parent[i]
+            return root
+
+        def canon(i: int) -> int:
+            return find(self._final_target(i, final))
+
+        changed = True
+        while changed:
+            changed = False
+            seen: Dict[tuple, int] = {}
+            for i in range(before):
+                if find(i) != i or op[i] == OP_JMP:
+                    continue
+                key = row_key(i, canon)
+                rep = seen.get(key)
+                if rep is None:
+                    seen[key] = i
+                elif find(rep) != find(i):
+                    parent[find(i)] = find(rep)
+                    changed = True
+
+        # Closed tables never expand again: the memos are dead weight
+        # and must not pin garbage rows.
+        if not self._pending:
+            self._lower_memo.clear()
+            self._enter_memo.clear()
+            self._loopk_intern.clear()
+
+        roots = [canon(self.root)]
+        roots.extend(canon(i) for i in self._pending)
+        roots.extend(canon(entry[1]) for entry in self._lower_memo.values())
+        roots.extend(canon(entry[1]) for entry in self._enter_memo.values())
+
+        live: List[int] = []
+        marked = set()
+        stack = list(roots)
+        while stack:
+            i = stack.pop()
+            if i in marked:
+                continue
+            marked.add(i)
+            live.append(i)
+            o = op[i]
+            if o == OP_BIT:
+                stack.append(canon(a[i]))
+                stack.append(canon(b[i]))
+            elif o == OP_JMP:  # surviving jump-cycle member
+                stack.append(canon(a[i]))
+        live.sort()
+        remap = {old: new for new, old in enumerate(live)}
+
+        def renumber(i: int) -> int:
+            return remap[canon(i)]
+
+        new_op = [op[i] for i in live]
+        new_a = [
+            renumber(a[i]) if op[i] in (OP_BIT, OP_JMP) else -1 for i in live
+        ]
+        new_b = [renumber(b[i]) if op[i] == OP_BIT else -1 for i in live]
+        new_payload = [payload[i] if op[i] == OP_LEAF else -1 for i in live]
+
+        new_root = renumber(self.root)
+        new_fail = -1
+        if self._fail_node >= 0:
+            target = canon(self._fail_node)
+            new_fail = remap.get(target, -1)
+        new_pending = {
+            renumber(i): entry for i, entry in self._pending.items()
+        }
+        new_lower_memo = {
+            key: (entry[0], renumber(entry[1]))
+            for key, entry in self._lower_memo.items()
+        }
+        new_enter_memo = {
+            key: (entry[0], renumber(entry[1]))
+            for key, entry in self._enter_memo.items()
+        }
+        self.op, self.a, self.b, self.payload = new_op, new_a, new_b, new_payload
+        self.root = new_root
+        self._fail_node = new_fail
+        self._pending = new_pending
+        self._lower_memo = new_lower_memo
+        self._enter_memo = new_enter_memo
+        self._row_intern = {}
+        if self.dedupe:
+            for i in range(len(self.op)):
+                if self.op[i] != OP_STUB:
+                    self._row_intern.setdefault(
+                        (self.op[i], self.a[i], self.b[i], self.payload[i]), i
+                    )
+        removed = before - len(self.op)
+        self.compacted_rows += removed
+        self.version += 1
+        return removed
+
     # -- introspection ---------------------------------------------------
 
     def __len__(self) -> int:
@@ -273,6 +480,8 @@ class NodeTable:
             "fail": counts[OP_FAIL],
             "jmp": counts[OP_JMP],
             "stub": counts[OP_STUB],
+            "dedup_hits": self.dedup_hits,
+            "compacted_rows": self.compacted_rows,
         }
 
     def map_payloads(self, extract: Optional[Callable[[object], object]]):
@@ -282,6 +491,8 @@ class NodeTable:
         return [extract(value) for value in self.payloads]
 
 
-def lower_cftree(tree: CFTree, max_nodes: int = 2_000_000) -> NodeTable:
+def lower_cftree(
+    tree: CFTree, max_nodes: int = 2_000_000, dedupe: bool = True
+) -> NodeTable:
     """Lower a debiased CF tree to a :class:`NodeTable`."""
-    return NodeTable.from_cftree(tree, max_nodes)
+    return NodeTable.from_cftree(tree, max_nodes, dedupe)

@@ -12,32 +12,54 @@ comparison:
 - :func:`gelman_rubin` -- the potential-scale-reduction statistic
   ``R-hat`` across independent chains (values near 1 indicate mixing);
 - :func:`autocorrelation` -- the raw ACF these are computed from.
+
+numpy accelerates the ACF dot products when present but is optional
+(like everywhere else in the engine): the pure-Python path computes the
+same sums, so ``import repro`` and the mcmc entry points work on the
+numpy-free CI matrix row.
 """
 
 import math
 from typing import List, Sequence
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pure-Python fallback below
+    np = None
+
+
+def _dot(xs, ys) -> float:
+    return sum(x * y for x, y in zip(xs, ys))
 
 
 def autocorrelation(values: Sequence[float], max_lag: int) -> List[float]:
     """Sample autocorrelation function up to ``max_lag`` (lag 0 = 1)."""
-    data = np.asarray(values, dtype=float)
-    n = len(data)
+    n = len(values)
     if n < 2:
         raise ValueError("need at least two values")
     if max_lag >= n:
         raise ValueError("max_lag must be below the series length")
-    centered = data - data.mean()
-    variance = float(np.dot(centered, centered)) / n
+    if np is not None:
+        data = np.asarray(values, dtype=float)
+        centered = data - data.mean()
+        variance = float(np.dot(centered, centered)) / n
+        if variance == 0:
+            # Constant chain: perfectly correlated at every lag.
+            return [1.0] * (max_lag + 1)
+        return [
+            float(np.dot(centered[: n - lag], centered[lag:])) / n / variance
+            for lag in range(max_lag + 1)
+        ]
+    data = [float(v) for v in values]
+    mean = sum(data) / n
+    centered = [v - mean for v in data]
+    variance = _dot(centered, centered) / n
     if variance == 0:
-        # Constant chain: perfectly correlated at every lag.
         return [1.0] * (max_lag + 1)
-    acf = []
-    for lag in range(max_lag + 1):
-        cov = float(np.dot(centered[: n - lag], centered[lag:])) / n
-        acf.append(cov / variance)
-    return acf
+    return [
+        _dot(centered[: n - lag], centered[lag:]) / n / variance
+        for lag in range(max_lag + 1)
+    ]
 
 
 def effective_sample_size(values: Sequence[float]) -> float:
@@ -47,12 +69,11 @@ def effective_sample_size(values: Sequence[float]) -> float:
     pair sums stay positive (guaranteed nonnegative for reversible
     chains), then ``ESS = n / (1 + 2 * sum)``.  Clamped to ``[1, n]``.
     """
-    data = np.asarray(values, dtype=float)
-    n = len(data)
+    n = len(values)
     if n < 4:
         return float(n)
     max_lag = min(n - 2, 1000)
-    acf = autocorrelation(data, max_lag)
+    acf = autocorrelation(values, max_lag)
     rho_sum = 0.0
     lag = 1
     while lag + 1 <= max_lag:
@@ -73,17 +94,21 @@ def gelman_rubin(chains: Sequence[Sequence[float]]) -> float:
     """
     if len(chains) < 2:
         raise ValueError("need at least two chains")
-    arrays = [np.asarray(chain, dtype=float) for chain in chains]
-    length = len(arrays[0])
+    series = [[float(v) for v in chain] for chain in chains]
+    length = len(series[0])
     if length < 2:
         raise ValueError("chains must have length >= 2")
-    if any(len(a) != length for a in arrays):
+    if any(len(chain) != length for chain in series):
         raise ValueError("chains must have equal length")
-    m = len(arrays)
-    means = np.array([a.mean() for a in arrays])
-    variances = np.array([a.var(ddof=1) for a in arrays])
-    w = float(variances.mean())  # within-chain variance
-    b = length * float(means.var(ddof=1))  # between-chain variance
+    m = len(series)
+    means = [sum(chain) / length for chain in series]
+    variances = [
+        sum((v - mean) ** 2 for v in chain) / (length - 1)
+        for chain, mean in zip(series, means)
+    ]
+    w = sum(variances) / m  # within-chain variance
+    grand = sum(means) / m
+    b = length * sum((mu - grand) ** 2 for mu in means) / (m - 1)
     if w == 0:
         return 1.0 if b == 0 else math.inf
     var_plus = (length - 1) / length * w + b / length

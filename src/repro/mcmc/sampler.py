@@ -24,9 +24,18 @@ from repro.mcmc.trace import Trace
 
 
 class ChainRecord:
-    """Samples plus bookkeeping from one MH run."""
+    """Samples plus bookkeeping from one MH run.
 
-    __slots__ = ("states", "outcomes", "bits_init", "bits_steps")
+    ``program_digest`` is the content digest of the (program, initial
+    state) pair the chain targets (None when the program contains
+    opaque expressions): runs from different processes can be associated
+    with each other -- and with pipeline-compiled artifacts in the
+    compilation cache -- by key rather than by provenance.
+    """
+
+    __slots__ = (
+        "states", "outcomes", "bits_init", "bits_steps", "program_digest",
+    )
 
     def __init__(
         self,
@@ -34,11 +43,13 @@ class ChainRecord:
         outcomes: List[str],
         bits_init: int,
         bits_steps: int,
+        program_digest: Optional[str] = None,
     ):
         self.states = states
         self.outcomes = outcomes
         self.bits_init = bits_init
         self.bits_steps = bits_steps
+        self.program_digest = program_digest
 
     def __len__(self) -> int:
         return len(self.states)
@@ -96,6 +107,17 @@ class MHSampler:
         self.max_init_restarts = max_init_restarts
         self._trace: Optional[Trace] = None
         self._state: Optional[State] = None
+        self._direct = None
+        # Content digest identifying the posterior this chain targets
+        # (None when the program contains opaque expressions).
+        from repro.compiler.digest import Undigestable, fingerprint
+
+        try:
+            self.program_digest: Optional[str] = fingerprint(
+                "mcmc", self.program, self.sigma
+            )
+        except Undigestable:
+            self.program_digest = None
 
     def _ensure_initialized(self) -> int:
         """Forward-sample an observation-satisfying start; returns the
@@ -158,7 +180,35 @@ class MHSampler:
                 outcomes.append(step.outcome)
             states.append(self._state)
 
-        return ChainRecord(states, outcomes, bits_init, self.source.take_count())
+        return ChainRecord(
+            states,
+            outcomes,
+            bits_init,
+            self.source.take_count(),
+            program_digest=self.program_digest,
+        )
+
+    def direct_sampler(self):
+        """The pipeline-compiled rejection sampler of the same posterior.
+
+        Compiled through the shared content-addressed cache, so the
+        comparison path (exact i.i.d. samples vs. correlated MH samples,
+        Table 2's bits-per-sample trade) costs nothing when the program
+        was already compiled elsewhere in the process -- or in a
+        previous process with a disk cache configured.  Returns None
+        when the program cannot be lowered to the batch engine.
+        """
+        if self._direct is None:
+            from repro.compiler.pipeline import compile_program
+            from repro.engine.table import LoweringError
+
+            try:
+                self._direct = compile_program(self.program, self.sigma)
+            except LoweringError:
+                self._direct = False
+        if self._direct is False:
+            return None
+        return self._direct.sampler()
 
 
 def run_chains(

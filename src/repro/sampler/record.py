@@ -70,14 +70,24 @@ def collect(
 
     ``tree`` may also be a batch-engine ``NodeTable`` or ``BatchSampler``
     (see :mod:`repro.engine`), in which case sampling is routed through
-    the vectorized batch driver instead of the per-sample trampoline.
+    the vectorized batch driver instead of the per-sample trampoline --
+    or a cpGCL ``Command``/pipeline ``CompiledProgram``, compiled through
+    the staged pipeline (:mod:`repro.compiler`) with its
+    content-addressed cache.
     """
     if n <= 0:
         raise ValueError("need a positive sample count")
     if not isinstance(tree, ITree):
         from repro.engine.api import BatchSampler
         from repro.engine.table import NodeTable
+        from repro.lang.syntax import Command
 
+        from repro.compiler.pipeline import CompiledProgram, compile_program
+
+        if isinstance(tree, Command):
+            tree = compile_program(tree).table
+        elif isinstance(tree, CompiledProgram):
+            tree = tree.table
         if isinstance(tree, NodeTable):
             tree = BatchSampler(tree)
         if isinstance(tree, BatchSampler):

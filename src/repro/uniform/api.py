@@ -52,7 +52,19 @@ class ZarUniform:
             validate = n <= 512
         if validate:
             self._validate()
-        self._sampler = BatchSampler.from_cftree(self._tree, coalesce)
+        # Route through the staged pipeline with a synthetic content key
+        # (the rejection wrapper contains a Fix closure, so the tree
+        # itself is undigestable): every ZarUniform(n) in this process --
+        # and, with a disk cache configured, across processes -- shares
+        # one compiled node table.
+        from repro.compiler.pipeline import compile_tree
+
+        self._compiled = compile_tree(
+            self._tree,
+            key_parts=("uniform_tree", n, coalesce),
+            coalesce=coalesce,
+        )
+        self._sampler = BatchSampler(self._compiled.table)
         self._source = CountingBits(SystemBits(seed))
 
     def _validate(self) -> None:
@@ -98,6 +110,11 @@ class ZarUniform:
     def engine_stats(self):
         """Node-table statistics of the lowered sampler."""
         return self._sampler.stats()
+
+    @property
+    def pipeline_stats(self):
+        """Per-stage statistics of the compilation (see repro.compiler)."""
+        return self._compiled.stats
 
 
 def uniform_int(n: int, seed: Optional[int] = None) -> int:

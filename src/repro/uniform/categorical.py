@@ -75,10 +75,18 @@ class ZarCategorical:
             validate = len(self.weights) <= 256
         if validate:
             self._validate()
-        # Already debiased above; lower straight to the engine table.
-        self._sampler = BatchSampler.from_cftree(
-            self._tree, coalesce, apply_debias=False
+        # Already debiased above; pipeline the tree straight to an
+        # engine table (CSE + deduplicated lowering), content-addressed
+        # by the weight vector so equal distributions share artifacts.
+        from repro.compiler.pipeline import compile_tree
+
+        self._compiled = compile_tree(
+            self._tree,
+            key_parts=("categorical", tuple(self.weights), coalesce),
+            passes=("cse",),
+            coalesce=coalesce,
         )
+        self._sampler = BatchSampler(self._compiled.table)
         self._source = CountingBits(SystemBits(seed))
 
     def _validate(self) -> None:
@@ -116,3 +124,8 @@ class ZarCategorical:
     @property
     def bits_consumed(self) -> int:
         return self._source.count
+
+    @property
+    def pipeline_stats(self):
+        """Per-stage statistics of the compilation (see repro.compiler)."""
+        return self._compiled.stats

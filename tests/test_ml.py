@@ -1,7 +1,8 @@
 """Tests for the SGD demo substrate (Section 5.3 substitute)."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", reason="repro.ml requires numpy")
 
 from repro.ml.data import synthetic_mnist
 from repro.ml.mlp import MLP
