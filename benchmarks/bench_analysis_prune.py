@@ -1,0 +1,108 @@
+"""Analysis benchmark: lint latency and prune_dead row reduction.
+
+Two questions (ISSUE acceptance for the abstract-interpretation layer):
+
+1. How fast does ``zar lint`` analyze the paper's programs?  The whole
+   analyzer stack (abstract interpretation + hygiene/observe/deadcode/
+   termination/bitcost) must stay interactive -- well under a second
+   per program.
+
+2. What does the analysis-driven ``prune_dead`` pass buy on a program
+   with a dead nested loop?  Bar: after an identical sampling workload
+   (bit-for-bit equal streams by construction), the pruned variant's
+   node table holds strictly fewer rows -- the dead inner loop stops
+   allocating pinned entry rows at every newly visited loop state.
+
+Writes ``benchmarks/results/BENCH_analysis.json`` (uploaded by CI next
+to ``BENCH_compiler.json``).
+"""
+
+import os
+import time
+
+from repro.analysis import lint_source
+from repro.compiler.pipeline import Pipeline
+from repro.engine.api import BatchSampler
+from repro.lang.parser import parse_program
+from repro.lang.state import State
+
+from benchmarks._common import bench_samples, write_json_result
+
+EXAMPLES = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "examples",
+    "programs",
+)
+
+LINT_TARGETS = (
+    "die.gcl",
+    "geometric.gcl",
+    "dueling_coins.gcl",
+    "hare_tortoise.gcl",
+    os.path.join("broken", "divergent_loop.gcl"),
+    os.path.join("broken", "infeasible_observe.gcl"),
+    os.path.join("broken", "dead_branch.gcl"),
+    os.path.join("broken", "dead_loop.gcl"),
+)
+
+
+def _ms(seconds: float) -> float:
+    return round(seconds * 1000.0, 3)
+
+
+def _lint_record(name: str) -> dict:
+    with open(os.path.join(EXAMPLES, name)) as handle:
+        source = handle.read()
+    t0 = time.perf_counter()
+    report = lint_source(source)
+    elapsed = time.perf_counter() - t0
+    return {
+        "codes": sorted({d.code for d in report.diagnostics}),
+        "exit_code": report.exit_code,
+        "lint_ms": _ms(elapsed),
+    }
+
+
+def _prune_record(n: int) -> dict:
+    path = os.path.join(EXAMPLES, "broken", "dead_loop.gcl")
+    with open(path) as handle:
+        command = parse_program(handle.read())
+
+    rows = {}
+    for label, passes in (("on", ("prune_dead",)), ("off", ())):
+        pipeline = Pipeline(
+            command_passes=passes, use_cache=False, eager_expand=0
+        )
+        program = pipeline.compile(command, State())
+        samples = BatchSampler(program.table).collect(n, seed=5)
+        rows[label] = {
+            "rows": len(program.table),
+            "pruned_sites": program.stats["analysis"].get("pruned_sites", 0),
+            "mean_bits": round(samples.mean_bits(), 3),
+        }
+    on, off = rows["on"], rows["off"]
+    assert on["rows"] < off["rows"], (on["rows"], off["rows"])
+    reduction = 100.0 * (off["rows"] - on["rows"]) / off["rows"]
+    return {
+        "program": "broken/dead_loop.gcl",
+        "samples": n,
+        "pruning_on": on,
+        "pruning_off": off,
+        "row_reduction_pct": round(reduction, 1),
+    }
+
+
+def main() -> None:
+    lint = {name: _lint_record(name) for name in LINT_TARGETS}
+    slowest = max(entry["lint_ms"] for entry in lint.values())
+    assert slowest < 30_000, "lint must stay interactive, got %sms" % slowest
+
+    prune = _prune_record(bench_samples())
+    write_json_result(
+        "BENCH_analysis",
+        {"lint": lint, "prune": prune, "lint_slowest_ms": slowest},
+    )
+
+
+if __name__ == "__main__":
+    main()

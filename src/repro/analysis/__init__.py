@@ -1,0 +1,62 @@
+"""Static analysis of cpGCL programs and CF trees.
+
+Layers (each usable on its own):
+
+- :mod:`repro.analysis.domains` -- interval/boolean abstract values and
+  states (the lattices);
+- :mod:`repro.analysis.framework` -- the domain protocol, the bounded
+  widening fixpoint solver, and the analyzer registry;
+- :mod:`repro.analysis.interp` -- the abstract interpreter over
+  commands, producing per-site facts;
+- :mod:`repro.analysis.lint` -- the diagnostics engine (``zar lint``);
+- :mod:`repro.analysis.prune` -- analysis-driven dead-branch pruning,
+  wired into the compiler pipeline as the ``prune_dead`` command pass;
+- :mod:`repro.analysis.bitcost` -- Knuth--Yao entropy vs expected bits.
+"""
+
+from repro.analysis.diagnostics import RULES, Diagnostic, Rule, Severity
+from repro.analysis.domains import AbsState, AbsVal, Interval
+from repro.analysis.framework import (
+    AnalysisBudget,
+    AnalysisContext,
+    register_analyzer,
+    solve_fixpoint,
+)
+from repro.analysis.interp import (
+    AbstractInterpreter,
+    ProgramAnalysis,
+    aeval,
+    analyze,
+    assume,
+)
+from repro.analysis.lint import (
+    DEFAULT_ANALYZERS,
+    LintReport,
+    lint_program,
+    lint_source,
+)
+from repro.analysis.prune import prune_command
+
+__all__ = [
+    "AbsState",
+    "AbsVal",
+    "AbstractInterpreter",
+    "AnalysisBudget",
+    "AnalysisContext",
+    "DEFAULT_ANALYZERS",
+    "Diagnostic",
+    "Interval",
+    "LintReport",
+    "ProgramAnalysis",
+    "RULES",
+    "Rule",
+    "Severity",
+    "aeval",
+    "analyze",
+    "assume",
+    "lint_program",
+    "lint_source",
+    "prune_command",
+    "register_analyzer",
+    "solve_fixpoint",
+]

@@ -1,0 +1,211 @@
+"""Bit-cost analysis: Knuth--Yao entropy bound vs expected bits.
+
+The Knuth--Yao theorem lower-bounds the expected number of fair coin
+flips any exact sampler needs by the Shannon entropy of the target
+distribution (and upper-bounds the optimal DDG tree by entropy + 2).
+This analyzer:
+
+1. estimates the outcome distribution of the compiled CF tree by a
+   budgeted mass walk (:func:`outcome_masses` -- exact rational masses,
+   with the unexplored loop tail reported as *residual* mass);
+2. computes the expected fair-coin flips per attempt of the debiased
+   tree with the exact/iterative fixpoint engine
+   (:func:`repro.cftree.analysis.expected_bits`);
+3. reports entropy vs expectation as a ZAR009 info diagnostic, ZAR004
+   when the expectation is unbounded (e.g. a certainly-divergent loop),
+   and ZAR002 when *all* probability mass is rejected.
+
+Registered as the ``bitcost`` analyzer; runs after the core abstract
+interpretation so it can skip the (non-terminating) expectation solve
+whenever the interpreter already proved certain divergence.
+"""
+
+from fractions import Fraction
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.domains import ONLY_FALSE
+from repro.analysis.framework import AnalysisContext, register_analyzer
+from repro.analysis.interp import ObserveSite, ProgramAnalysis
+from repro.cftree.analysis import expected_bits
+from repro.cftree.compile import compile_cpgcl
+from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+from repro.compiler.passes import PassContext, resolve_passes
+from repro.lang.state import State
+from repro.lang.syntax import Command
+from repro.semantics.fixpoint import LoopOptions
+from repro.stats.entropy import shannon_entropy
+
+# Kont chains mirror the lowering continuations of ``engine.table``:
+# ``None`` is halt, otherwise ``(fix, outer_kont)``.
+_Kont = Optional[Tuple[Fix, Any]]
+
+BITCOST_OPTIONS = LoopOptions(
+    strategy="auto", max_states=2000, max_rounds=4000
+)
+
+
+def outcome_masses(
+    tree: CFTree, max_expansions: int = 2048
+) -> Tuple[Dict[Any, Fraction], Fraction, Fraction]:
+    """Walk a CF tree, splitting mass at every ``Choice``.
+
+    Returns ``(pmf, fail, residual)``: exact success mass per outcome
+    value, total mass absorbed by ``Fail``, and mass still inside loops
+    when the expansion budget ran out.  ``pmf + fail + residual == 1``.
+    """
+    pmf: Dict[Any, Fraction] = {}
+    fail = Fraction(0)
+    residual = Fraction(0)
+    expansions = max_expansions
+    work: List[Tuple[CFTree, Fraction, _Kont]] = [(tree, Fraction(1), None)]
+    while work:
+        node, mass, kont = work.pop()
+        if mass == 0:
+            continue
+        if isinstance(node, Choice):
+            work.append((node.left, mass * node.prob, kont))
+            work.append((node.right, mass * (1 - node.prob), kont))
+        elif isinstance(node, Fail):
+            fail += mass
+        elif isinstance(node, Fix):
+            work.append((Leaf(node.init), mass, (node, kont)))
+        elif isinstance(node, Leaf):
+            if kont is None:
+                pmf[node.value] = pmf.get(node.value, Fraction(0)) + mass
+            else:
+                fix, outer = kont
+                if fix.guard(node.value):
+                    if expansions <= 0:
+                        residual += mass
+                    else:
+                        expansions -= 1
+                        work.append((fix.body(node.value), mass, kont))
+                else:
+                    work.append((fix.cont(node.value), mass, outer))
+        else:
+            raise TypeError("not a CF tree: %r" % (node,))
+    return pmf, fail, residual
+
+
+def _debiased(command: Command, sigma: State) -> CFTree:
+    tree = compile_cpgcl(command, sigma)
+    ctx = PassContext()
+    for pass_ in resolve_passes(("elim_choices", "debias")):
+        tree = pass_.run(tree, ctx)
+    return tree
+
+
+@register_analyzer("bitcost")
+def analyze_bitcost(ctx: AnalysisContext) -> None:
+    program = ctx.program
+    assert isinstance(program, ProgramAnalysis)
+
+    # A loop the interpreter proved can never exit makes the expectation
+    # infinite; do not hand the (divergent) fixpoint solve to the engine.
+    for site in program.loops():
+        if site.never_exits:
+            diag = Diagnostic(
+                "ZAR004",
+                "expected bits per sample is infinite: the loop at %s "
+                "can never exit" % (".".join(site.path) or "<program>",),
+                path=site.path,
+            )
+            if site.loc is not None:
+                diag = diag.located(site.loc[0], site.loc[1])
+            ctx.emit(diag)
+            return
+
+    if not isinstance(ctx.sigma, State) or not isinstance(
+        ctx.command, Command
+    ):
+        return
+    try:
+        raw = compile_cpgcl(ctx.command, ctx.sigma)
+        pmf, fail_mass, residual = outcome_masses(raw)
+    except Exception as exc:  # analysis must never crash the lint run
+        ctx.emit(
+            Diagnostic(
+                "ZAR008",
+                "bit-cost analysis skipped: %s" % (exc,),
+            )
+        )
+        return
+
+    success = sum(pmf.values(), Fraction(0))
+    if success == 0:
+        if residual == 0:
+            # Distribution-level infeasibility: every execution fails an
+            # observation.  (Syntactically certain `observe false` is
+            # already reported by the observe analyzer; no duplicate.)
+            already = any(
+                isinstance(s, ObserveSite) and s.tv == ONLY_FALSE
+                for s in program.sites
+            )
+            if not already and fail_mass > 0:
+                ctx.emit(
+                    Diagnostic(
+                        "ZAR002",
+                        "all probability mass is rejected: the "
+                        "observations can never all be satisfied",
+                    )
+                )
+        return
+
+    normalized = {key: float(mass / success) for key, mass in pmf.items()}
+    entropy = shannon_entropy(normalized)
+
+    # The expectation solve walks the debiased tree's loop state space
+    # (nested rejection loops multiply the work); when the mass walk
+    # already left most of the distribution unexplored the state space
+    # is too deep to solve within budget -- report incompleteness
+    # instead of stalling the lint run (ISSUE: bounded analysis).
+    if residual > Fraction(1, 2):
+        ctx.emit(
+            Diagnostic(
+                "ZAR008",
+                "bit-cost analysis incomplete: %.0f%% of the probability "
+                "mass lies in unexplored loop iterations (entropy lower "
+                "bound %.3f bits/sample on the explored region)"
+                % (100 * float(residual), entropy),
+            )
+        )
+        return
+
+    try:
+        expected = expected_bits(
+            _debiased(ctx.command, ctx.sigma), options=BITCOST_OPTIONS
+        )
+    except Exception as exc:  # analysis must never crash the lint run
+        ctx.emit(
+            Diagnostic(
+                "ZAR008",
+                "bit-cost analysis skipped: %s" % (exc,),
+            )
+        )
+        return
+
+    if expected.is_infinite:
+        ctx.emit(
+            Diagnostic(
+                "ZAR004",
+                "expected bits per attempt is unbounded "
+                "(entropy lower bound %.3f bits)" % (entropy,),
+            )
+        )
+        return
+
+    per_attempt = float(expected.as_fraction())
+    message = (
+        "bit cost: entropy lower bound %.3f bits/sample, compiled tree "
+        "expects %.3f bits/attempt" % (entropy, per_attempt)
+    )
+    if fail_mass > 0 and success > 0:
+        per_accepted = per_attempt / float(success)
+        message += " (~%.3f bits/accepted sample at acceptance %.3f)" % (
+            per_accepted,
+            float(success),
+        )
+    if float(residual) >= 1e-9:
+        message += "; %.2e loop mass unexplored" % (float(residual),)
+    ctx.emit(Diagnostic("ZAR009", message))

@@ -1,0 +1,530 @@
+"""Abstract domains for the cpGCL analyzer.
+
+The analyzer over-approximates the set of concrete values a variable may
+hold at a program point.  Concrete values (see ``repro.lang.expr``) are
+ints, exact rationals, and booleans, so the abstract value is a *sum*
+domain:
+
+- a numeric component: an outward-rounded :class:`Interval` with exact
+  ``Fraction`` endpoints (``None`` encoding the corresponding infinity),
+  plus an integrality flag that lets comparisons against integer-valued
+  variables tighten strict bounds (``x < 6`` with integral ``x`` refines
+  to ``x <= 5``);
+- a boolean component: the subset of ``{True, False}`` the value may be.
+
+Either component may be absent (``None`` / the empty set); both absent is
+bottom.  States (:class:`AbsState`) map variables to abstract values with
+the convention of ``lang.state.State``: an unbound variable reads as the
+exact integer 0.  A distinguished bottom state represents an unreachable
+program point.
+
+All lattice operations are exact rational arithmetic -- "outward rounding"
+here means interval *endpoints* are combined so the result interval always
+contains every concrete result (e.g. division by an interval containing 0
+returns the unbounded interval rather than raising).
+"""
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+Value = Union[int, bool, Fraction]
+
+_NEG_INF = "-inf"
+_POS_INF = "+inf"
+_Bound = Union[Fraction, str]  # Fraction, or one of the infinity tags
+
+
+def _xmul(p: _Bound, q: _Bound) -> _Bound:
+    """Multiply extended bounds; ``0 * inf = 0`` (limit-safe for endpoint
+    products of intervals that contain the factor 0)."""
+    if isinstance(p, Fraction) and isinstance(q, Fraction):
+        return p * q
+    if p == 0 or q == 0:
+        return Fraction(0)
+
+    def sign(b: _Bound) -> int:
+        if isinstance(b, Fraction):
+            return 1 if b > 0 else -1
+        return 1 if b == _POS_INF else -1
+
+    return _POS_INF if sign(p) * sign(q) > 0 else _NEG_INF
+
+
+def _xcmp_key(b: _Bound) -> Tuple[int, Fraction]:
+    if isinstance(b, Fraction):
+        return (0, b)
+    return (1, Fraction(0)) if b == _POS_INF else (-1, Fraction(0))
+
+
+class Interval(object):
+    """A closed interval over the extended rationals.
+
+    ``lo is None`` means the lower endpoint is -inf; ``hi is None`` means
+    +inf.  ``integral`` records that every concrete inhabitant is an
+    integer, which sharpens strict comparisons and floor operations.
+    The empty interval is *not* representable; absence of a numeric
+    component is expressed at the :class:`AbsVal` level.
+    """
+
+    __slots__ = ("lo", "hi", "integral")
+
+    def __init__(
+        self,
+        lo: Optional[Fraction],
+        hi: Optional[Fraction],
+        integral: bool = False,
+    ) -> None:
+        if integral:
+            # Outward rounding keeps the invariant cheap: tighten rational
+            # endpoints of integer-valued intervals to the enclosed ints.
+            if lo is not None and lo.denominator != 1:
+                lo = Fraction(-((-lo.numerator) // lo.denominator))
+            if hi is not None and hi.denominator != 1:
+                hi = Fraction(hi.numerator // hi.denominator)
+        if lo is not None and hi is not None and lo > hi:
+            raise ValueError("empty interval [%s, %s]" % (lo, hi))
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        object.__setattr__(self, "integral", integral)
+
+    def __setattr__(self, *_: object) -> None:
+        raise AttributeError("Interval is immutable")
+
+    # -- constructors ----------------------------------------------------
+
+    @staticmethod
+    def const(value: Union[int, Fraction]) -> "Interval":
+        q = Fraction(value)
+        return Interval(q, q, integral=q.denominator == 1)
+
+    @staticmethod
+    def top() -> "Interval":
+        return TOP_INTERVAL
+
+    # -- inspection ------------------------------------------------------
+
+    @property
+    def is_constant(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def constant(self) -> Optional[Fraction]:
+        """The single inhabitant, when the interval is a point."""
+        if self.lo is not None and self.lo == self.hi:
+            return self.lo
+        return None
+
+    def contains(self, value: Union[int, Fraction]) -> bool:
+        q = Fraction(value)
+        if self.integral and q.denominator != 1:
+            return False
+        if self.lo is not None and q < self.lo:
+            return False
+        return self.hi is None or q <= self.hi
+
+    def contains_zero(self) -> bool:
+        return self.contains(0)
+
+    # -- lattice ---------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi, integral=self.integral and other.integral)
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection, or ``None`` when it is empty."""
+        if self.lo is None:
+            lo = other.lo
+        elif other.lo is None:
+            lo = self.lo
+        else:
+            lo = max(self.lo, other.lo)
+        if self.hi is None:
+            hi = other.hi
+        elif other.hi is None:
+            hi = self.hi
+        else:
+            hi = min(self.hi, other.hi)
+        integral = self.integral or other.integral
+        if integral:
+            if lo is not None and lo.denominator != 1:
+                lo = Fraction(-((-lo.numerator) // lo.denominator))
+            if hi is not None and hi.denominator != 1:
+                hi = Fraction(hi.numerator // hi.denominator)
+        if lo is not None and hi is not None and lo > hi:
+            return None
+        return Interval(lo, hi, integral=integral)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: any endpoint that moved outward
+        between ``self`` (the previous iterate) and ``newer`` (the joined
+        next iterate) jumps straight to the corresponding infinity."""
+        lo = self.lo if (self.lo is not None and newer.lo is not None and newer.lo >= self.lo) else None
+        hi = self.hi if (self.hi is not None and newer.hi is not None and newer.hi <= self.hi) else None
+        return Interval(lo, hi, integral=self.integral and newer.integral)
+
+    def leq(self, other: "Interval") -> bool:
+        """Containment: every inhabitant of ``self`` is one of ``other``.
+
+        The integrality flag is refinement metadata, not part of the
+        concretization ordering used for fixpoint detection."""
+        if other.lo is not None and (self.lo is None or self.lo < other.lo):
+            return False
+        if other.hi is not None and (self.hi is None or self.hi > other.hi):
+            return False
+        return True
+
+    # -- arithmetic (outward-rounded) ------------------------------------
+
+    def _lo_bound(self) -> _Bound:
+        return _NEG_INF if self.lo is None else self.lo
+
+    def _hi_bound(self) -> _Bound:
+        return _POS_INF if self.hi is None else self.hi
+
+    @staticmethod
+    def _from_bounds(
+        candidates: Iterable[_Bound], integral: bool
+    ) -> "Interval":
+        cs = list(candidates)
+        lo = min(cs, key=_xcmp_key)
+        hi = max(cs, key=_xcmp_key)
+        return Interval(
+            lo if isinstance(lo, Fraction) else None,
+            hi if isinstance(hi, Fraction) else None,
+            integral=integral,
+        )
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi, integral=self.integral and other.integral)
+
+    def sub(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.hi is None else self.lo - other.hi
+        hi = None if self.hi is None or other.lo is None else self.hi - other.lo
+        return Interval(lo, hi, integral=self.integral and other.integral)
+
+    def neg(self) -> "Interval":
+        lo = None if self.hi is None else -self.hi
+        hi = None if self.lo is None else -self.lo
+        return Interval(lo, hi, integral=self.integral)
+
+    def mul(self, other: "Interval") -> "Interval":
+        a, b = self._lo_bound(), self._hi_bound()
+        c, d = other._lo_bound(), other._hi_bound()
+        return Interval._from_bounds(
+            (_xmul(a, c), _xmul(a, d), _xmul(b, c), _xmul(b, d)),
+            integral=self.integral and other.integral,
+        )
+
+    def truediv(self, other: "Interval") -> Optional["Interval"]:
+        """Exact rational division.  ``None`` (meaning: no information,
+        callers should use top) when the divisor may be 0 or unbounded."""
+        if other.contains_zero() or other.lo is None or other.hi is None:
+            return None
+        inv = Interval(1 / other.hi, 1 / other.lo)
+        return self.mul(inv)
+
+    def floordiv(self, other: "Interval") -> Optional["Interval"]:
+        exact = self.truediv(other)
+        if exact is None:
+            return None
+        lo = exact.lo if exact.lo is None else Fraction(
+            exact.lo.numerator // exact.lo.denominator
+        )
+        hi = exact.hi if exact.hi is None else Fraction(
+            exact.hi.numerator // exact.hi.denominator
+        )
+        return Interval(lo, hi, integral=True)
+
+    def mod(self, other: "Interval") -> Optional["Interval"]:
+        """Python ``%`` against a definitely-positive divisor; ``None``
+        otherwise.  (The result then lies in ``[0, divisor)``.)"""
+        if other.lo is None or other.lo <= 0:
+            return None
+        if other.hi is None:
+            return Interval(Fraction(0), None, integral=self.integral and other.integral)
+        integral = self.integral and other.integral
+        hi = other.hi - 1 if integral else other.hi
+        return Interval(Fraction(0), hi, integral=integral)
+
+    # -- comparisons (three-valued) --------------------------------------
+
+    def cmp_lt(self, other: "Interval") -> FrozenSet[bool]:
+        """The set of possible outcomes of ``self < other``."""
+        can_true = _xcmp_key(self._lo_bound()) < _xcmp_key(other._hi_bound())
+        can_false = _xcmp_key(self._hi_bound()) >= _xcmp_key(other._lo_bound())
+        out = set()
+        if can_true:
+            out.add(True)
+        if can_false:
+            out.add(False)
+        return frozenset(out)
+
+    def cmp_le(self, other: "Interval") -> FrozenSet[bool]:
+        can_true = _xcmp_key(self._lo_bound()) <= _xcmp_key(other._hi_bound())
+        can_false = _xcmp_key(self._hi_bound()) > _xcmp_key(other._lo_bound())
+        out = set()
+        if can_true:
+            out.add(True)
+        if can_false:
+            out.add(False)
+        return frozenset(out)
+
+    def cmp_eq(self, other: "Interval") -> FrozenSet[bool]:
+        if self.meet(other) is None:
+            return ONLY_FALSE
+        a, b = self.constant(), other.constant()
+        if a is not None and b is not None and a == b:
+            return ONLY_TRUE
+        return BOTH_BOOLS
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.lo == other.lo
+            and self.hi == other.hi
+            and self.integral == other.integral
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Interval", self.lo, self.hi, self.integral))
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        tag = "Z" if self.integral else "Q"
+        return "[%s, %s]%s" % (lo, hi, tag)
+
+
+TOP_INTERVAL = Interval(None, None, integral=False)
+TOP_INT_INTERVAL = Interval(None, None, integral=True)
+
+# Three-valued boolean outcomes as subsets of {True, False}.
+BOTH_BOOLS: FrozenSet[bool] = frozenset((True, False))
+ONLY_TRUE: FrozenSet[bool] = frozenset((True,))
+ONLY_FALSE: FrozenSet[bool] = frozenset((False,))
+NO_BOOLS: FrozenSet[bool] = frozenset()
+
+
+class AbsVal(object):
+    """An abstract value: numeric interval + possible boolean values.
+
+    ``num is None`` means the value is definitely not numeric; an empty
+    ``bools`` set means it is definitely not a boolean.  Both absent is
+    the bottom value (no concrete inhabitant)."""
+
+    __slots__ = ("num", "bools")
+
+    def __init__(
+        self, num: Optional[Interval], bools: FrozenSet[bool] = NO_BOOLS
+    ) -> None:
+        object.__setattr__(self, "num", num)
+        object.__setattr__(self, "bools", bools)
+
+    def __setattr__(self, *_: object) -> None:
+        raise AttributeError("AbsVal is immutable")
+
+    @staticmethod
+    def of(value: Value) -> "AbsVal":
+        if isinstance(value, bool):
+            return AbsVal(None, frozenset((value,)))
+        return AbsVal(Interval.const(value))
+
+    @staticmethod
+    def top() -> "AbsVal":
+        return TOP_VAL
+
+    @staticmethod
+    def bottom() -> "AbsVal":
+        return BOTTOM_VAL
+
+    @property
+    def is_bottom(self) -> bool:
+        return self.num is None and not self.bools
+
+    def definite(self) -> Optional[Value]:
+        """The unique concrete inhabitant, if there is exactly one."""
+        if self.num is not None and not self.bools:
+            c = self.num.constant()
+            if c is None:
+                return None
+            return int(c) if c.denominator == 1 else c
+        if self.num is None and len(self.bools) == 1:
+            return next(iter(self.bools))
+        return None
+
+    def truthiness(self) -> FrozenSet[bool]:
+        """Possible outcomes of using this value as a guard.  Only actual
+        booleans are accepted by ``state.as_bool``; a numeric component
+        contributes no outcome (it would be a runtime error)."""
+        return self.bools
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        if self.num is None:
+            num = other.num
+        elif other.num is None:
+            num = self.num
+        else:
+            num = self.num.join(other.num)
+        return AbsVal(num, self.bools | other.bools)
+
+    def widen(self, newer: "AbsVal") -> "AbsVal":
+        if self.num is not None and newer.num is not None:
+            num: Optional[Interval] = self.num.widen(newer.num)
+        else:
+            num = newer.num if self.num is None else self.num
+        return AbsVal(num, self.bools | newer.bools)
+
+    def leq(self, other: "AbsVal") -> bool:
+        if not self.bools <= other.bools:
+            return False
+        if self.num is None:
+            return True
+        return other.num is not None and self.num.leq(other.num)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AbsVal)
+            and self.num == other.num
+            and self.bools == other.bools
+        )
+
+    def __hash__(self) -> int:
+        return hash(("AbsVal", self.num, self.bools))
+
+    def __repr__(self) -> str:
+        parts: List[str] = []
+        if self.num is not None:
+            parts.append(repr(self.num))
+        if self.bools:
+            parts.append("{%s}" % ", ".join(sorted(map(str, self.bools))))
+        return "AbsVal(%s)" % (" | ".join(parts) or "bottom")
+
+
+TOP_VAL = AbsVal(TOP_INTERVAL, BOTH_BOOLS)
+BOTTOM_VAL = AbsVal(None, NO_BOOLS)
+ZERO_VAL = AbsVal.of(0)
+
+
+class AbsState(object):
+    """An abstract program state: a finite map from variables to abstract
+    values, with the ``lang.state.State`` convention that unbound
+    variables read as the exact integer 0.  ``AbsState.bottom()`` is the
+    unreachable state.
+
+    ``assigned`` tracks variables *definitely* written on every path to
+    this point (plus initial-state bindings); reads outside this set feed
+    the unassigned-read hygiene rule."""
+
+    __slots__ = ("_map", "assigned", "_bottom")
+
+    def __init__(
+        self,
+        mapping: Optional[Dict[str, AbsVal]] = None,
+        assigned: FrozenSet[str] = frozenset(),
+        bottom: bool = False,
+    ) -> None:
+        cleaned: Dict[str, AbsVal] = {}
+        if mapping and not bottom:
+            for name, val in mapping.items():
+                if val != ZERO_VAL:  # canonical form: default bindings dropped
+                    cleaned[name] = val
+        object.__setattr__(self, "_map", cleaned)
+        object.__setattr__(self, "assigned", assigned)
+        object.__setattr__(self, "_bottom", bottom)
+
+    def __setattr__(self, *_: object) -> None:
+        raise AttributeError("AbsState is immutable")
+
+    @staticmethod
+    def initial(bindings: Optional[Dict[str, Value]] = None) -> "AbsState":
+        mapping = {
+            name: AbsVal.of(value) for name, value in (bindings or {}).items()
+        }
+        return AbsState(mapping, assigned=frozenset(mapping))
+
+    @staticmethod
+    def bottom() -> "AbsState":
+        return BOTTOM_STATE
+
+    @property
+    def is_bottom(self) -> bool:
+        return self._bottom
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset(self._map)
+
+    def get(self, name: str) -> AbsVal:
+        if self._bottom:
+            return BOTTOM_VAL
+        return self._map.get(name, ZERO_VAL)
+
+    def set(self, name: str, value: AbsVal) -> "AbsState":
+        if self._bottom:
+            return self
+        mapping = dict(self._map)
+        mapping[name] = value
+        return AbsState(mapping, assigned=self.assigned | frozenset((name,)))
+
+    def havoc(self, names: Iterable[str]) -> "AbsState":
+        """Forget everything about ``names`` (assign them top)."""
+        state = self
+        for name in names:
+            state = state.set(name, TOP_VAL)
+        return state
+
+    def _pointwise(
+        self, other: "AbsState", op: str
+    ) -> "AbsState":
+        if self._bottom:
+            return other
+        if other._bottom:
+            return self
+        mapping: Dict[str, AbsVal] = {}
+        for name in frozenset(self._map) | frozenset(other._map):
+            a, b = self.get(name), other.get(name)
+            mapping[name] = a.widen(b) if op == "widen" else a.join(b)
+        return AbsState(mapping, assigned=self.assigned & other.assigned)
+
+    def join(self, other: "AbsState") -> "AbsState":
+        return self._pointwise(other, "join")
+
+    def widen(self, newer: "AbsState") -> "AbsState":
+        return self._pointwise(newer, "widen")
+
+    def leq(self, other: "AbsState") -> bool:
+        if self._bottom:
+            return True
+        if other._bottom:
+            return False
+        for name in frozenset(self._map) | frozenset(other._map):
+            if not self.get(name).leq(other.get(name)):
+                return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AbsState):
+            return NotImplemented
+        if self._bottom or other._bottom:
+            return self._bottom == other._bottom
+        return self._map == other._map and self.assigned == other.assigned
+
+    def __hash__(self) -> int:
+        if self._bottom:
+            return hash("AbsState.bottom")
+        return hash(
+            ("AbsState", frozenset(self._map.items()), self.assigned)
+        )
+
+    def __repr__(self) -> str:
+        if self._bottom:
+            return "AbsState(bottom)"
+        items = ", ".join(
+            "%s=%r" % (k, v) for k, v in sorted(self._map.items())
+        )
+        return "AbsState({%s})" % items
+
+
+BOTTOM_STATE = AbsState(bottom=True)

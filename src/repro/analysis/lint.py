@@ -1,0 +1,350 @@
+"""``zar lint``: the diagnostics engine over the analysis results.
+
+:func:`lint_program` runs the abstract interpreter once, then each
+analyzer (built-in: hygiene, observe-feasibility, dead-code,
+termination, bit-cost -- plus anything registered through
+``repro.analysis.framework.register_analyzer``) over the shared
+:class:`ProgramAnalysis`, and assembles a :class:`LintReport` with
+stable rule codes and a schema-stable JSON form.
+
+The exit-code convention (shared with the CLI): 0 clean or info-only,
+1 worst severity warning, 2 worst severity error.
+"""
+
+import json
+from typing import IO, Any, Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.domains import ONLY_FALSE, ONLY_TRUE
+from repro.analysis.framework import (
+    AnalysisContext,
+    register_analyzer,
+    resolve_analyzers,
+)
+from repro.analysis.interp import (
+    AbstractInterpreter,
+    BranchSite,
+    LoopSite,
+    ObserveSite,
+    ProgramAnalysis,
+    ReadSite,
+    SampleSite,
+    Site,
+)
+from repro.lang.parser import parse_program_located
+from repro.lang.state import State
+from repro.lang.syntax import Command
+
+DEFAULT_ANALYZERS: Tuple[str, ...] = (
+    "hygiene",
+    "observe",
+    "deadcode",
+    "termination",
+    "bitcost",
+)
+
+
+def _fmt_val(val: Any) -> str:
+    """Render an abstract value for a message: the constant when it is
+    one, the interval otherwise."""
+    num = getattr(val, "num", None)
+    if num is not None:
+        if num.is_constant:
+            return str(num.constant())
+        return repr(num)
+    return repr(val)
+
+
+def _site_diag(
+    code: str,
+    message: str,
+    site: Site,
+    severity: Optional[Severity] = None,
+) -> Diagnostic:
+    diag = Diagnostic(code, message, path=site.path, severity=severity)
+    if site.loc is not None:
+        diag = diag.located(site.loc[0], site.loc[1])
+    return diag
+
+
+@register_analyzer("hygiene")
+def analyze_hygiene(ctx: AnalysisContext) -> None:
+    """ZAR005/ZAR006/ZAR007: value hygiene at choice, uniform, and read
+    sites."""
+    program = ctx.program
+    assert isinstance(program, ProgramAnalysis)
+    for site in program.sites:
+        if isinstance(site, BranchSite) and site.kind == "choice":
+            if site.prob_validity == "invalid":
+                ctx.emit(
+                    _site_diag(
+                        "ZAR005",
+                        "choice probability %s can never lie in [0, 1]"
+                        % (_fmt_val(site.prob),),
+                        site,
+                    )
+                )
+            elif site.prob_validity == "maybe-invalid":
+                ctx.emit(
+                    _site_diag(
+                        "ZAR005",
+                        "choice probability %s may fall outside [0, 1]"
+                        % (_fmt_val(site.prob),),
+                        site,
+                        severity=Severity.WARNING,
+                    )
+                )
+        elif isinstance(site, SampleSite):
+            if site.validity == "invalid":
+                ctx.emit(
+                    _site_diag(
+                        "ZAR006",
+                        "uniform range %s is never positive"
+                        % (_fmt_val(site.range_val),),
+                        site,
+                    )
+                )
+            elif site.validity == "maybe-invalid":
+                ctx.emit(
+                    _site_diag(
+                        "ZAR006",
+                        "uniform range %s may be non-positive"
+                        % (_fmt_val(site.range_val),),
+                        site,
+                        severity=Severity.WARNING,
+                    )
+                )
+        elif isinstance(site, ReadSite):
+            ctx.emit(
+                _site_diag(
+                    "ZAR007",
+                    "variable%s %s read before assignment (reads as 0)"
+                    % (
+                        "s" if len(site.names) > 1 else "",
+                        ", ".join(site.names),
+                    ),
+                    site,
+                )
+            )
+
+
+@register_analyzer("observe")
+def analyze_observe(ctx: AnalysisContext) -> None:
+    """ZAR002: observations that are unsatisfiable on the computed
+    supports."""
+    program = ctx.program
+    assert isinstance(program, ProgramAnalysis)
+    for site in program.sites:
+        if isinstance(site, ObserveSite) and site.tv == ONLY_FALSE:
+            ctx.emit(
+                _site_diag(
+                    "ZAR002",
+                    "observation is never satisfied: every sample attempt "
+                    "is rejected",
+                    site,
+                )
+            )
+
+
+@register_analyzer("deadcode")
+def analyze_deadcode(ctx: AnalysisContext) -> None:
+    """ZAR003: branches and loop bodies with no reachable mass."""
+    program = ctx.program
+    assert isinstance(program, ProgramAnalysis)
+    for site in program.sites:
+        if isinstance(site, BranchSite) and site.dead is not None:
+            if site.kind == "ite":
+                message = (
+                    "the %s-branch is dead: the condition is always %s"
+                    % (
+                        "else" if site.dead == "orelse" else "then",
+                        "true" if site.dead == "orelse" else "false",
+                    )
+                )
+            else:
+                message = (
+                    "the %s branch of the choice is dead: its probability "
+                    "is always %s"
+                    % (
+                        site.dead,
+                        "0" if site.dead == "left" else "1",
+                    )
+                )
+            ctx.emit(_site_diag("ZAR003", message, site))
+        elif (
+            isinstance(site, LoopSite)
+            and program.dead.get(site.path) == "drop-loop"
+        ):
+            ctx.emit(
+                _site_diag(
+                    "ZAR003",
+                    "the loop body is dead: the guard is false in every "
+                    "reachable entry state",
+                    site,
+                )
+            )
+
+
+@register_analyzer("termination")
+def analyze_termination(ctx: AnalysisContext) -> None:
+    """ZAR001: loops with no provable escape.
+
+    Certain divergence (the guard can never become false over the loop
+    invariant) is an error; a loop whose per-iteration escape probability
+    cannot be bounded away from 0 -- and that bounded unrolling cannot
+    prove terminating -- is a warning."""
+    program = ctx.program
+    assert isinstance(program, ProgramAnalysis)
+    for site in program.loops():
+        if program.dead.get(site.path) == "drop-loop":
+            continue  # never entered; reported as dead code instead
+        if site.never_exits:
+            certainty = (
+                "" if site.entry_tv == ONLY_TRUE else " once entered"
+            )
+            ctx.emit(
+                _site_diag(
+                    "ZAR001",
+                    "loop can never exit%s: the guard is true on every "
+                    "state in the loop invariant" % (certainty,),
+                    site,
+                )
+            )
+        elif site.escape_bound is None or site.escape_bound == 0:
+            if site.bounded_iterations is not None:
+                continue  # proven to exit within a known iteration count
+            ctx.emit(
+                _site_diag(
+                    "ZAR001",
+                    "loop may diverge: per-iteration escape probability "
+                    "has no positive lower bound",
+                    site,
+                    severity=Severity.WARNING,
+                )
+            )
+
+
+# Importing the bit-cost module registers the "bitcost" analyzer.
+from repro.analysis import bitcost as _bitcost  # noqa: E402,F401
+
+
+class LintReport(object):
+    """The result of linting one program."""
+
+    __slots__ = ("diagnostics", "incomplete", "analysis")
+
+    def __init__(
+        self,
+        diagnostics: List[Diagnostic],
+        incomplete: bool,
+        analysis: Optional[ProgramAnalysis] = None,
+    ) -> None:
+        self.diagnostics = diagnostics
+        self.incomplete = incomplete
+        self.analysis = analysis
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    @property
+    def exit_code(self) -> int:
+        worst = self.max_severity
+        if worst is None or worst < Severity.WARNING:
+            return 0
+        return 2 if worst >= Severity.ERROR else 1
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Schema-stable JSON form (fields are append-only)."""
+        return {
+            "version": 1,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": self.count(Severity.ERROR),
+                "warnings": self.count(Severity.WARNING),
+                "infos": self.count(Severity.INFO),
+            },
+            "incomplete": self.incomplete,
+            "exit_code": self.exit_code,
+        }
+
+    def render_json(self, out: IO[str]) -> None:
+        json.dump(self.to_json(), out, indent=2, sort_keys=True)
+        out.write("\n")
+
+    def render_text(self, out: IO[str], name: str = "<program>") -> None:
+        for diagnostic in self.diagnostics:
+            out.write("%s:%s\n" % (name, diagnostic.render()))
+        out.write(
+            "%d error(s), %d warning(s), %d info(s)\n"
+            % (
+                self.count(Severity.ERROR),
+                self.count(Severity.WARNING),
+                self.count(Severity.INFO),
+            )
+        )
+
+
+def lint_program(
+    command: Command,
+    sigma: Optional[State] = None,
+    locations: Optional[Dict[int, Tuple[int, int]]] = None,
+    analyzers: Optional[List[str]] = None,
+    interpreter: Optional[AbstractInterpreter] = None,
+) -> LintReport:
+    """Analyze ``command`` and return the assembled diagnostics."""
+    interp = interpreter or AbstractInterpreter(locations=locations)
+    program = interp.run(command, sigma)
+    collected: List[Diagnostic] = []
+
+    def emit(diagnostic: Diagnostic) -> None:
+        collected.append(diagnostic)
+
+    def locate(path: Tuple[str, ...]) -> Optional[Tuple[int, int]]:
+        for site in program.sites:
+            if site.path == path:
+                return site.loc
+        return None
+
+    ctx = AnalysisContext(command, sigma or State.empty(), program, emit, locate)
+    names = list(analyzers) if analyzers is not None else list(
+        DEFAULT_ANALYZERS
+    )
+    for analyzer in resolve_analyzers(names):
+        analyzer(ctx)
+    if program.incomplete:
+        emit(
+            Diagnostic(
+                "ZAR008",
+                "analysis incomplete: %s; diagnostics may be missing"
+                % ("; ".join(program.incomplete_reasons) or "budget"),
+            )
+        )
+    ordered = sorted(
+        enumerate(collected),
+        key=lambda pair: (
+            pair[1].line if pair[1].line is not None else 1 << 30,
+            pair[1].column or 0,
+            pair[0],
+        ),
+    )
+    return LintReport(
+        [d for _, d in ordered], program.incomplete, program
+    )
+
+
+def lint_source(
+    source: str,
+    sigma: Optional[State] = None,
+    analyzers: Optional[List[str]] = None,
+) -> LintReport:
+    """Parse ``source`` with location tracking, then lint it."""
+    command, locations = parse_program_located(source)
+    return lint_program(
+        command, sigma=sigma, locations=locations, analyzers=analyzers
+    )

@@ -1,0 +1,102 @@
+"""Analysis-driven dead-branch pruning of commands.
+
+:func:`prune_command` rewrites a command according to the prune actions
+collected in :class:`repro.analysis.interp.ProgramAnalysis`: branches the
+abstract interpreter proved unreachable are removed *before* the command
+is compiled to a CF tree.
+
+Every action is bit-stream preserving, which is what the differential
+tests pin down:
+
+- ``keep-then`` / ``keep-orelse``: the ``Ite`` condition has a definite
+  boolean value in every reachable state; the compiler would have
+  resolved the branch the same way, consuming no randomness.
+- ``keep-left`` / ``keep-right``: the ``Choice`` probability is the
+  constant 0 or 1 in every reachable state; such choices generate
+  degenerate tree nodes that ``elim_choices`` folds away, again without
+  consuming randomness.
+- ``drop-loop``: the ``While`` guard is false in every reachable entry
+  state; its ``Fix`` node would defer a guard evaluation that always
+  says "exit", so replacing the loop by ``Skip`` removes node-table rows
+  without touching the bit stream.
+
+What pruning buys over the compiler's own per-state evaluation: the
+compiler resolves branches lazily *per reachable concrete state*, so a
+dead nested loop still allocates a ``Fix`` stub (and later a JMP row)
+in the node table for every loop state an open table expands.  Pruning
+removes those rows wholesale -- see ``benchmarks/bench_analysis_prune``.
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.interp import Path, ProgramAnalysis
+from repro.lang.syntax import (
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+
+
+def prune_command(
+    command: Command, analysis: ProgramAnalysis
+) -> Tuple[Command, int]:
+    """Apply the analysis' prune actions; returns the rewritten command
+    and the number of sites pruned."""
+    counter = [0]
+    pruned = _walk(command, (), analysis.dead, counter)
+    return pruned, counter[0]
+
+
+def _walk(
+    command: Command,
+    path: Path,
+    dead: Dict[Path, str],
+    counter: List[int],
+) -> Command:
+    action = dead.get(path)
+    if isinstance(command, Seq):
+        first = _walk(command.first, path + ("first",), dead, counter)
+        second = _walk(command.second, path + ("second",), dead, counter)
+        if first is command.first and second is command.second:
+            return command
+        return Seq(first, second)
+    if isinstance(command, Ite):
+        if action == "keep-then":
+            counter[0] += 1
+            return _walk(command.then, path + ("then",), dead, counter)
+        if action == "keep-orelse":
+            counter[0] += 1
+            return _walk(command.orelse, path + ("orelse",), dead, counter)
+        then = _walk(command.then, path + ("then",), dead, counter)
+        orelse = _walk(command.orelse, path + ("orelse",), dead, counter)
+        if then is command.then and orelse is command.orelse:
+            return command
+        return Ite(command.cond, then, orelse)
+    if isinstance(command, Choice):
+        if action == "keep-left":
+            counter[0] += 1
+            return _walk(command.left, path + ("left",), dead, counter)
+        if action == "keep-right":
+            counter[0] += 1
+            return _walk(command.right, path + ("right",), dead, counter)
+        left = _walk(command.left, path + ("left",), dead, counter)
+        right = _walk(command.right, path + ("right",), dead, counter)
+        if left is command.left and right is command.right:
+            return command
+        return Choice(command.prob, left, right)
+    if isinstance(command, While):
+        if action == "drop-loop":
+            counter[0] += 1
+            return Skip()
+        body = _walk(command.body, path + ("body",), dead, counter)
+        if body is command.body:
+            return command
+        return While(command.cond, body)
+    if isinstance(command, (Skip, Observe, Uniform)):
+        return command
+    return command

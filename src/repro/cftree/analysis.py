@@ -12,12 +12,19 @@
   bits = attempt bits / success probability).
 - :func:`tree_size` / :func:`tree_depth` -- structural statistics of the
   eager part of a tree (``Fix`` nodes count as single opaque nodes).
+- :func:`leaf_supports` / :func:`escape_lower_bound` -- the CF-DAG side
+  of the abstract-interpretation layer (``repro.analysis``): variable
+  supports over reachable leaf states, and an exact per-state lower
+  bound on the probability that one unfolding of a ``Fix`` body leaves
+  the loop.  Both are budgeted (the lazy ``Fix`` representation makes
+  exhaustive exploration undecidable) and report completeness.
 """
 
 from fractions import Fraction
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+from repro.lang.state import State
 from repro.semantics.algebra import EXT_REAL
 from repro.semantics.extreal import ExtReal
 from repro.semantics.fixpoint import DEFAULT_OPTIONS, LoopOptions, solve_loop
@@ -127,6 +134,170 @@ def _cost(tree, kont, alg, options):
             mass_step=mass_step,
         )
     raise TypeError("not a CF tree: %r" % (tree,))
+
+
+def leaf_supports(
+    tree: CFTree, max_expansions: int = 4096
+) -> Tuple[Dict[str, "object"], bool]:
+    """Join the per-variable supports of all reachable terminal leaf
+    states of a ``CFTree[State]``.
+
+    Returns ``(supports, complete)`` where ``supports`` maps each
+    variable to a :class:`repro.analysis.domains.AbsVal` covering every
+    value the variable takes in some reachable ``Leaf``, and ``complete``
+    is False when the expansion budget truncated loop exploration (the
+    supports are then a lower* approximation of the reachable leaves --
+    exact on what was explored).
+    """
+    # Imported here: repro.analysis depends on repro.cftree for the
+    # bit-cost analyzer, so the domain import must stay local.
+    from repro.analysis.domains import AbsVal
+
+    supports: Dict[str, object] = {}
+    appearances: Dict[str, int] = {}
+    leaves = 0
+    complete = True
+    expansions = max_expansions
+    work = [(tree, None)]  # (node, kont) with kont = None | (fix, outer)
+    while work:
+        node, kont = work.pop()
+        if isinstance(node, Choice):
+            work.append((node.left, kont))
+            work.append((node.right, kont))
+        elif isinstance(node, Fail):
+            continue
+        elif isinstance(node, Fix):
+            work.append((Leaf(node.init), (node, kont)))
+        elif isinstance(node, Leaf):
+            if kont is not None:
+                fix, outer = kont
+                if fix.guard(node.value):
+                    if expansions <= 0:
+                        complete = False
+                    else:
+                        expansions -= 1
+                        work.append((fix.body(node.value), kont))
+                else:
+                    work.append((fix.cont(node.value), outer))
+                continue
+            state = node.value
+            if isinstance(state, State):
+                leaves += 1
+                for name, value in state.items():
+                    seen = supports.get(name)
+                    fresh = AbsVal.of(value)
+                    appearances[name] = appearances.get(name, 0) + 1
+                    supports[name] = (
+                        fresh if seen is None else seen.join(fresh)  # type: ignore[attr-defined]
+                    )
+        else:
+            raise TypeError("not a CF tree: %r" % (node,))
+    # States drop zero-valued bindings (their canonical form): a variable
+    # absent from some leaf is 0 there, so its support must include 0.
+    zero = AbsVal.of(0)
+    for name, count in appearances.items():
+        if count < leaves:
+            supports[name] = supports[name].join(zero)  # type: ignore[attr-defined]
+    return supports, complete
+
+
+def escape_lower_bound(
+    fix: Fix, max_states: int = 256, max_expansions: int = 4096
+) -> Tuple[Fraction, bool]:
+    """The minimum, over explored loop states of ``fix``, of the exact
+    probability that one unfolding of the body leaves the loop (reaches
+    a leaf with a false guard, or fails an observation -- both end the
+    attempt).
+
+    This is the CF-DAG counterpart of the command-level escape analysis
+    in ``repro.analysis.interp``: probabilities here are concrete, so
+    each per-state bound is *exact*; only the sweep over loop states is
+    budgeted.  Returns ``(bound, complete)``; when ``complete`` is False
+    unexplored loop states may have smaller escape probability, so the
+    bound is only valid for the explored region (callers should treat it
+    as 0 for soundness).
+    """
+    bound: Optional[Fraction] = None
+    complete = True
+    visited = set()
+    frontier = [fix.init]
+    while frontier:
+        state = frontier.pop()
+        if state in visited:
+            continue
+        if len(visited) >= max_states:
+            complete = False
+            break
+        visited.add(state)
+        if not fix.guard(state):
+            continue  # already outside the loop
+        escape = Fraction(0)
+        expansions = max_expansions
+        work = [(fix.body(state), Fraction(1))]
+        while work:
+            node, mass = work.pop()
+            if mass == 0:
+                continue
+            if isinstance(node, Choice):
+                work.append((node.left, mass * node.prob))
+                work.append((node.right, mass * (1 - node.prob)))
+            elif isinstance(node, Fail):
+                escape += mass  # the attempt aborts: leaves the loop
+            elif isinstance(node, Leaf):
+                if fix.guard(node.value):
+                    frontier.append(node.value)
+                else:
+                    escape += mass
+            elif isinstance(node, Fix):
+                # A nested loop inside the body: unfold it with the same
+                # budget; its own non-termination contributes no escape.
+                inner_work = [(Leaf(node.init), (node, None))]
+                konted = _unfold(inner_work, expansions)
+                expansions = konted[1]
+                if not konted[2]:
+                    complete = False
+                for leaf_node, leaf_mass in konted[0]:
+                    work.append((leaf_node, mass * leaf_mass))
+            else:
+                raise TypeError("not a CF tree: %r" % (node,))
+        bound = escape if bound is None else min(bound, escape)
+    if bound is None:
+        bound = Fraction(1)  # the loop is never entered
+    return bound, complete
+
+
+def _unfold(work, expansions):
+    """Flatten nested ``Fix`` nodes into their (mass-weighted) exit
+    trees, up to ``expansions`` body unfoldings.  Returns
+    ``(exits, remaining_expansions, complete)``."""
+    exits = []
+    complete = True
+    items = [(node, Fraction(1), kont) for node, kont in work]
+    while items:
+        node, mass, kont = items.pop()
+        if isinstance(node, Choice):
+            items.append((node.left, mass * node.prob, kont))
+            items.append((node.right, mass * (1 - node.prob), kont))
+        elif isinstance(node, Fail):
+            exits.append((node, mass))
+        elif isinstance(node, Fix):
+            items.append((Leaf(node.init), mass, (node, kont)))
+        elif isinstance(node, Leaf):
+            if kont is None:
+                exits.append((node, mass))
+            else:
+                fix, outer = kont
+                if fix.guard(node.value):
+                    if expansions <= 0:
+                        complete = False
+                    else:
+                        expansions -= 1
+                        items.append((fix.body(node.value), mass, kont))
+                else:
+                    items.append((fix.cont(node.value), mass, outer))
+        else:
+            raise TypeError("not a CF tree: %r" % (node,))
+    return exits, expansions, complete
 
 
 def tree_size(tree: CFTree) -> int:

@@ -18,7 +18,7 @@ from repro.cftree.elim import elim_choices
 from repro.cftree.viz import render_cftree
 from repro.inference import infer_posterior
 from repro.lang.errors import CpGCLError
-from repro.lang.parser import parse_program
+from repro.lang.parser import parse_program, parse_program_located
 from repro.lang.pretty import pretty
 from repro.lang.state import State
 from repro.lang.syntax import Command
@@ -31,13 +31,18 @@ class CliError(Exception):
     """A user-facing failure: message printed, exit code 1."""
 
 
-def load_program(path: str) -> Command:
-    """Parse a cpGCL source file into a command AST."""
+def load_source(path: str) -> str:
+    """Read a cpGCL source file."""
     try:
         with open(path) as handle:
-            source = handle.read()
+            return handle.read()
     except OSError as err:
         raise CliError("cannot read %s: %s" % (path, err))
+
+
+def load_program(path: str) -> Command:
+    """Parse a cpGCL source file into a command AST."""
+    source = load_source(path)
     try:
         return parse_program(source)
     except CpGCLError as err:
@@ -68,19 +73,62 @@ def _parse_value(raw: str):
 
 
 def cmd_check(args, out: TextIO) -> int:
-    program = load_program(args.file)
+    """``zar check``: parse -> typecheck -> lint.
+
+    Exit codes: 0 clean (infos allowed), 1 parse/type errors or lint
+    warnings, 2 lint errors.
+    """
+    from repro.analysis.lint import lint_program
+
+    source = load_source(args.file)
+    try:
+        program, locations = parse_program_located(source)
+    except CpGCLError as err:
+        raise CliError("%s: %s" % (args.file, err))
     report = check_program(program, strict=False)
     for message in report.errors:
         print("error: %s" % message, file=out)
     for message in report.warnings:
         print("warning: %s" % message, file=out)
-    if report.ok:
+    if not report.ok:
+        return 1
+    sigma = parse_initial_state(getattr(args, "init", None))
+    lint = lint_program(program, sigma, locations=locations)
+    if lint.diagnostics:
+        lint.render_text(out, name=args.file)
+    if lint.exit_code == 0:
         print("%s: OK (%d warning%s)" % (
             args.file, len(report.warnings),
             "" if len(report.warnings) == 1 else "s",
         ), file=out)
-        return 0
-    return 1
+    return lint.exit_code
+
+
+def cmd_lint(args, out: TextIO) -> int:
+    """``zar lint``: abstract-interpretation diagnostics.
+
+    Exit codes: 0 clean or info-only, 1 worst severity warning, 2 worst
+    severity error (parse failures and unreadable files exit 1).
+    """
+    from repro.analysis.lint import lint_source
+
+    source = load_source(args.file)
+    sigma = parse_initial_state(getattr(args, "init", None))
+    analyzers = None
+    raw = getattr(args, "analyzers", None)
+    if raw:
+        analyzers = [name.strip() for name in raw.split(",") if name.strip()]
+    try:
+        report = lint_source(source, sigma, analyzers=analyzers)
+    except CpGCLError as err:
+        raise CliError("%s: %s" % (args.file, err))
+    except KeyError as err:
+        raise CliError(err.args[0])
+    if getattr(args, "format", "text") == "json":
+        report.render_json(out)
+    else:
+        report.render_text(out, name=args.file)
+    return report.exit_code
 
 
 def cmd_pretty(args, out: TextIO) -> int:
@@ -143,10 +191,21 @@ def _print_pipeline_stats(program, sigma, args, out: TextIO) -> None:
         raise CliError("pipeline: %s" % (err.args[0],))
     stats = prog.stats
     print(file=out)
-    print("pipeline (normalize -> build -> optimize -> lower):", file=out)
+    print("pipeline (normalize -> analyze -> build -> optimize -> lower):",
+          file=out)
     digest = stats.get("digest")
     print("  digest:        %s" % (digest or "<undigestable: %s>"
                                    % stats.get("undigestable")), file=out)
+    analysis = stats.get("analysis") or {}
+    if analysis.get("passes"):
+        notes = ""
+        if analysis.get("incomplete"):
+            notes = ", analysis incomplete"
+        print("  analyze:       %d dead site(s) pruned (%s%s)" % (
+            analysis.get("pruned_sites", 0),
+            ", ".join(analysis["passes"]),
+            notes,
+        ), file=out)
     build = stats.get("build") or {}
     print("  build:         %d DAG nodes" % build.get("dag_nodes", 0),
           file=out)

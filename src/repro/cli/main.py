@@ -23,9 +23,16 @@ from repro.cli.commands import (
     cmd_check,
     cmd_compile,
     cmd_infer,
+    cmd_lint,
     cmd_mcmc,
     cmd_pretty,
     cmd_sample,
+)
+
+_EXIT_CODES = (
+    "Exit codes for check/lint: 0 clean (info diagnostics allowed), "
+    "1 parse/type errors or worst lint severity warning, 2 worst lint "
+    "severity error."
 )
 
 
@@ -34,6 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Zar-reproduction driver: compile, sample, and infer "
         "cpGCL probabilistic programs.",
+        epilog=_EXIT_CODES,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -47,9 +55,34 @@ def build_parser() -> argparse.ArgumentParser:
             "true/false, or a rational p/q",
         )
 
-    p_check = sub.add_parser("check", help="parse and statically check")
-    p_check.add_argument("file", help="cpGCL source file")
+    p_check = sub.add_parser(
+        "check",
+        help="parse, typecheck, and lint",
+        description="Parse, typecheck, then lint the program. " + _EXIT_CODES,
+    )
+    add_common(p_check)
     p_check.set_defaults(run=cmd_check)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="abstract-interpretation diagnostics (ZAR0xx rule codes)",
+        description="Run the analysis-driven diagnostics engine: "
+        "divergence (ZAR001), infeasible observations (ZAR002), dead "
+        "branches (ZAR003), bit-cost (ZAR004/ZAR009), value hygiene "
+        "(ZAR005-ZAR007), incompleteness (ZAR008).  " + _EXIT_CODES,
+    )
+    add_common(p_lint)
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default text; json is schema-stable)",
+    )
+    p_lint.add_argument(
+        "--analyzers", default=None, metavar="A1,A2,...",
+        help="comma-separated analyzer list (default "
+        "hygiene,observe,deadcode,termination,bitcost; see "
+        "repro.analysis.framework.register_analyzer)",
+    )
+    p_lint.set_defaults(run=cmd_lint)
 
     p_pretty = sub.add_parser("pretty", help="parse and pretty-print")
     p_pretty.add_argument("file", help="cpGCL source file")

@@ -52,7 +52,22 @@ DIGEST_VERSION = b"zar-compile-1"
 
 class Undigestable(TypeError):
     """The object has no canonical content serialization (it contains an
-    opaque function: an ``Opaque`` expression or a ``Fix`` tree node)."""
+    opaque function: an ``Opaque`` expression or a ``Fix`` tree node).
+
+    ``path`` names the offending sub-term (``second.body.prob`` ...): the
+    emitters annotate the error as it propagates out of the term, so the
+    report is actionable -- which closure blocked digesting, not merely
+    that one exists.  ``reason`` is the unannotated message."""
+
+    def __init__(self, reason: str, path: tuple = ()):
+        self.reason = reason
+        self.path = tuple(path)
+        super().__init__(reason)
+
+    def __str__(self) -> str:
+        if self.path:
+            return "%s (at %s)" % (self.reason, ".".join(self.path))
+        return self.reason
 
 
 def _tag(h, label: str, *parts) -> None:
@@ -60,6 +75,28 @@ def _tag(h, label: str, *parts) -> None:
     h.update(label.encode("ascii"))
     for part in parts:
         _emit(h, part)
+    h.update(b")")
+
+
+def _emit_child(h, obj, segment: str) -> None:
+    """Emit a sub-term, prefixing ``segment`` onto any Undigestable path."""
+    try:
+        _emit(h, obj)
+    except Undigestable as err:
+        raise Undigestable(err.reason, (segment,) + err.path) from None
+
+
+def _tag2(h, label: str, parts) -> None:
+    """Like :func:`_tag`, but each part carries its path segment (or
+    ``None`` for scalar fields).  Byte layout is identical to ``_tag``,
+    so digests are unchanged."""
+    h.update(b"(")
+    h.update(label.encode("ascii"))
+    for segment, part in parts:
+        if segment is None:
+            _emit(h, part)
+        else:
+            _emit_child(h, part, segment)
     h.update(b")")
 
 
@@ -84,7 +121,7 @@ def _emit(h, obj) -> None:
     elif isinstance(obj, State):
         _tag(h, "state", *[part for item in obj.items() for part in item])
     elif isinstance(obj, (tuple, list)):
-        _tag(h, "seq", *obj)
+        _tag2(h, "seq", [("[%d]" % i, x) for i, x in enumerate(obj)])
     elif obj is None:
         h.update(b"#n")
     else:
@@ -97,11 +134,20 @@ def _emit_expr(h, expr: Expr) -> None:
     elif isinstance(expr, Var):
         _tag(h, "var", expr.name)
     elif isinstance(expr, UnOp):
-        _tag(h, "unop", expr.op, expr.arg)
+        _tag2(h, "unop", [(None, expr.op), ("arg", expr.arg)])
     elif isinstance(expr, BinOp):
-        _tag(h, "binop", expr.op, expr.lhs, expr.rhs)
+        _tag2(
+            h,
+            "binop",
+            [(None, expr.op), ("lhs", expr.lhs), ("rhs", expr.rhs)],
+        )
     elif isinstance(expr, Call):
-        _tag(h, "call", expr.func, *expr.args)
+        _tag2(
+            h,
+            "call",
+            [(None, expr.func)]
+            + [("args[%d]" % i, a) for i, a in enumerate(expr.args)],
+        )
     elif isinstance(expr, Opaque):
         raise Undigestable(
             "opaque expression %s has no content digest" % (expr.label,)
@@ -114,19 +160,43 @@ def _emit_command(h, command: Command) -> None:
     if isinstance(command, Skip):
         _tag(h, "skip")
     elif isinstance(command, Assign):
-        _tag(h, "assign", command.name, command.expr)
+        _tag2(h, "assign", [(None, command.name), ("expr", command.expr)])
     elif isinstance(command, Observe):
-        _tag(h, "observe", command.pred)
+        _tag2(h, "observe", [("pred", command.pred)])
     elif isinstance(command, Seq):
-        _tag(h, "seq2", command.first, command.second)
+        _tag2(
+            h,
+            "seq2",
+            [("first", command.first), ("second", command.second)],
+        )
     elif isinstance(command, Ite):
-        _tag(h, "ite", command.cond, command.then, command.orelse)
+        _tag2(
+            h,
+            "ite",
+            [
+                ("cond", command.cond),
+                ("then", command.then),
+                ("orelse", command.orelse),
+            ],
+        )
     elif isinstance(command, ChoiceCmd):
-        _tag(h, "choice", command.prob, command.left, command.right)
+        _tag2(
+            h,
+            "choice",
+            [
+                ("prob", command.prob),
+                ("left", command.left),
+                ("right", command.right),
+            ],
+        )
     elif isinstance(command, Uniform):
-        _tag(h, "uniform", command.range_expr, command.name)
+        _tag2(
+            h,
+            "uniform",
+            [("range", command.range_expr), (None, command.name)],
+        )
     elif isinstance(command, While):
-        _tag(h, "while", command.cond, command.body)
+        _tag2(h, "while", [("cond", command.cond), ("body", command.body)])
     else:
         raise Undigestable("unknown command %r" % (command,))
 
@@ -142,7 +212,11 @@ def _emit_tree(h, tree) -> None:
     elif isinstance(tree, Fail):
         _tag(h, "fail")
     elif isinstance(tree, Choice):
-        _tag(h, "tchoice", tree.prob, tree.left, tree.right)
+        _tag2(
+            h,
+            "tchoice",
+            [(None, tree.prob), ("left", tree.left), ("right", tree.right)],
+        )
     elif isinstance(tree, Fix):
         raise Undigestable("Fix nodes contain closures; no content digest")
     elif isinstance(tree, CFTree):

@@ -162,3 +162,92 @@ def _pass_coalesce(tree: CFTree, ctx: PassContext) -> CFTree:
 
 #: The Definition 3.13 pipeline plus hash-consing.
 DEFAULT_PASSES: Tuple[str, ...] = ("elim_choices", "debias", "cse")
+
+
+# -- command passes (the analyze stage) -----------------------------------
+#
+# Command passes rewrite the *cpGCL command* before CF-tree construction,
+# driven by the abstract-interpretation layer (``repro.analysis``).  They
+# mirror the tree-pass registry: a command pass is a callable
+# ``fn(command, sigma) -> (command, info)`` where ``info`` is a JSON-able
+# stats dict merged into ``CompiledProgram.stats["analysis"]``.
+
+
+class CommandPass:
+    """A named, registered command-to-command rewrite."""
+
+    __slots__ = ("name", "fn", "doc")
+
+    def __init__(self, name: str, fn, doc: str = ""):
+        self.name = name
+        self.fn = fn
+        self.doc = doc or (fn.__doc__ or "")
+
+    def run(self, command, sigma):
+        return self.fn(command, sigma)
+
+    def __repr__(self):
+        return "CommandPass(%r)" % (self.name,)
+
+
+COMMAND_PASS_REGISTRY: Dict[str, CommandPass] = {}
+
+
+def register_command_pass(name: str, fn=None, *, replace: bool = False):
+    """Register a command pass (usable as a decorator), mirroring
+    :func:`register_pass`."""
+
+    def install(func):
+        if name in COMMAND_PASS_REGISTRY and not replace:
+            raise ValueError(
+                "command pass %r is already registered" % (name,)
+            )
+        COMMAND_PASS_REGISTRY[name] = CommandPass(name, func)
+        return func
+
+    if fn is not None:
+        return install(fn)
+    return install
+
+
+def resolve_command_passes(names) -> Tuple[CommandPass, ...]:
+    """Look up a command-pass list by name, preserving order."""
+    out = []
+    for name in names:
+        entry = COMMAND_PASS_REGISTRY.get(name)
+        if entry is None:
+            raise KeyError(
+                "unknown command pass %r (registered: %s)"
+                % (name, ", ".join(sorted(COMMAND_PASS_REGISTRY)))
+            )
+        out.append(entry)
+    return tuple(out)
+
+
+@register_command_pass("prune_dead")
+def _pass_prune_dead(command, sigma):
+    """Remove branches/loops the abstract interpreter proves dead.
+
+    Every rewrite is bit-stream preserving (the pruned construct would
+    never have consumed randomness; see ``repro.analysis.prune``), so
+    the pass is safe for the default pipeline: samples are bit-for-bit
+    identical with the pass on or off, while dead nested loops stop
+    allocating node-table rows."""
+    from repro.analysis.interp import analyze
+    from repro.analysis.prune import prune_command
+
+    analysis = analyze(command, sigma)
+    pruned, count = prune_command(command, analysis)
+    info = {
+        "pruned_sites": count,
+        "incomplete": analysis.incomplete,
+        "loops": len(analysis.loops()),
+        "certainly_diverges": analysis.certainly_diverges(),
+        "budget_spent": analysis.budget_spent,
+    }
+    return pruned, info
+
+
+#: Analysis-driven command passes run by the default pipeline's analyze
+#: stage, before CF-tree construction.
+DEFAULT_COMMAND_PASSES: Tuple[str, ...] = ("prune_dead",)

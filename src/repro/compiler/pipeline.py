@@ -38,8 +38,10 @@ from repro.compiler.normalize import (
     normalize_stats,
 )
 from repro.compiler.passes import (
+    DEFAULT_COMMAND_PASSES,
     DEFAULT_PASSES,
     PassContext,
+    resolve_command_passes,
     resolve_passes,
 )
 from repro.engine.table import NodeTable
@@ -198,9 +200,12 @@ class Pipeline:
         compact: bool = True,
         cache: Optional[CompilationCache] = None,
         use_cache: bool = True,
+        command_passes: Tuple[str, ...] = DEFAULT_COMMAND_PASSES,
     ):
         self.pass_names = tuple(passes)
         self.passes = resolve_passes(passes)
+        self.command_pass_names = tuple(command_passes)
+        self.command_passes = resolve_command_passes(command_passes)
         self.coalesce = coalesce
         self.max_nodes = max_nodes
         self.dedupe = dedupe
@@ -215,6 +220,7 @@ class Pipeline:
             "dedupe", dedupe,
             "eager_expand", eager_expand,
             "compact", compact,
+            "command_passes", self.command_pass_names,
         )
 
     @property
@@ -267,9 +273,27 @@ class Pipeline:
             "normalize": dict(normalize_stats(), seconds=normalize_seconds),
         }
 
+        # analyze --------------------------------------------------------
+        # Command passes (abstract-interpretation-driven rewrites such as
+        # dead-branch pruning) run on the normalized command; the digest
+        # above covers them through ``command_passes`` in the options, so
+        # cached artifacts remain keyed by the *source* program.
+        t0 = time.perf_counter()
+        analysis_info: Dict[str, object] = {
+            "passes": list(self.command_pass_names),
+        }
+        build_command = command
+        for entry in self.command_passes:
+            build_command, info = entry.run(build_command, sigma)
+            analysis_info.update(info)
+        if build_command is not command:
+            build_command = normalize_command(build_command)
+        analysis_info["seconds"] = time.perf_counter() - t0
+        stats["analysis"] = analysis_info
+
         # build ----------------------------------------------------------
         t0 = time.perf_counter()
-        tree = compile_cpgcl(command, sigma, self.coalesce)
+        tree = compile_cpgcl(build_command, sigma, self.coalesce)
         stats["build"] = {
             "seconds": time.perf_counter() - t0,
             "dag_nodes": dag_size(tree),

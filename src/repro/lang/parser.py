@@ -24,7 +24,7 @@ literals is reduced to a literal, so ``2/3`` parses to the rational literal
 round trip exact: ``parse(pretty(c)) == fold_constants(c)``.
 """
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.lang import builtins
 from repro.lang.errors import EvalError, ParseError
@@ -57,9 +57,20 @@ _MUL_OPS = ("*", "/", "//", "%")
 
 
 class _Parser:
-    def __init__(self, tokens: List[Token]):
+    def __init__(self, tokens: List[Token], track_locations: bool = False):
         self._tokens = tokens
         self._pos = 0
+        self._track = track_locations
+        # id(node) -> (line, column); _pins keeps the nodes alive so the
+        # ids stay valid for as long as the location table is.
+        self.locations: Dict[int, Tuple[int, int]] = {}
+        self._pins: List[Command] = []
+
+    def _note(self, command: Command, token: Token) -> Command:
+        if self._track and id(command) not in self.locations:
+            self.locations[id(command)] = (token.line, token.column)
+            self._pins.append(command)
+        return command
 
     # -- token plumbing --------------------------------------------------
 
@@ -111,6 +122,10 @@ class _Parser:
         return seq(commands)
 
     def statement(self) -> Command:
+        token = self._peek()
+        return self._note(self._statement(), token)
+
+    def _statement(self) -> Command:
         token = self._peek()
         if self._match(KIND_KEYWORD, "skip"):
             self._expect(KIND_OP, ";")
@@ -392,6 +407,31 @@ def canonicalize(command: Command) -> Command:
 def parse_program(source: str) -> Command:
     """Parse a whole program (a statement sequence) from source text."""
     return _Parser(tokenize(source)).program()
+
+
+def parse_program_located(source: str):
+    """Parse a program, also returning a location table mapping
+    ``id(statement-node)`` to the 1-based ``(line, column)`` of the
+    statement's first token.
+
+    The table's keys are object identities of the returned AST's nodes;
+    it is only meaningful for that exact AST (normalization rebuilds
+    nodes), which is why the analyzer threads it alongside the command
+    rather than storing it on the (immutable, structurally-hashed)
+    nodes themselves.
+    """
+    parser = _Parser(tokenize(source), track_locations=True)
+    command = parser.program()
+    return command, _LocationTable(parser.locations, parser._pins)
+
+
+class _LocationTable(dict):
+    """A ``dict`` of ``id(node) -> (line, column)`` that keeps the noted
+    nodes alive (so ids are never recycled while the table is used)."""
+
+    def __init__(self, mapping, pins):
+        dict.__init__(self, mapping)
+        self._pins = list(pins)
 
 
 def parse_expr(source: str) -> Expr:

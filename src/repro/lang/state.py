@@ -24,7 +24,7 @@ from repro.lang.values import Value, is_value, normalize
 class State:
     """An immutable, hashable mapping from identifiers to values."""
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_key", "_hash")
 
     def __init__(self, mapping: Optional[Dict[str, Value]] = None, **kwargs: Value):
         items: Dict[str, Value] = {}
@@ -49,7 +49,16 @@ class State:
                 if not _is_default(normalize(value))
             )
         )
-        self._hash = hash(self._items)
+        # Equality/hash key with explicit kind tags: Python's ``True == 1``
+        # and ``hash(True) == hash(1)`` would otherwise make sigma[z := True]
+        # and sigma[z := 1] one state, although they are semantically
+        # distinct (``value_eq``; guards reject numbers in boolean
+        # position), which let the structural interner alias them.
+        self._key = tuple(
+            (name, value.__class__ is bool, value)
+            for name, value in self._items
+        )
+        self._hash = hash(self._key)
 
     @staticmethod
     def empty() -> "State":
@@ -105,7 +114,7 @@ class State:
     def __eq__(self, other) -> bool:
         if not isinstance(other, State):
             return NotImplemented
-        return self._items == other._items
+        return self._key == other._key
 
     def __hash__(self) -> int:
         return self._hash

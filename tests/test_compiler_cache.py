@@ -257,7 +257,11 @@ class TestCliPipelineStats:
         code = main(["compile", str(source)], out=out)
         text = out.getvalue()
         assert code == 0
-        assert "pipeline (normalize -> build -> optimize -> lower):" in text
+        assert (
+            "pipeline (normalize -> analyze -> build -> optimize -> lower):"
+            in text
+        )
+        assert "analyze:" in text
         assert "digest:" in text
         assert "pass cse:" in text
         assert "compile memo:" in text

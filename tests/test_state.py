@@ -52,6 +52,16 @@ class TestCanonicalization:
     def test_integral_fraction_canonicalized(self):
         assert State(x=Fraction(4, 2)) == State(x=2)
 
+    def test_true_binding_distinct_from_one(self):
+        # Python's ``True == 1`` must not leak into state equality:
+        # sigma[z := True] and sigma[z := 1] are semantically distinct
+        # (guards reject numbers in boolean position), and the compiler's
+        # structural interner keys memo entries on state equality -- the
+        # two aliasing once produced wrong cached CF trees.
+        assert State(z=True) != State(z=1)
+        assert hash(State(z=True)) != hash(State(z=1))
+        assert State(z=False) != State(z=0)
+
 
 class TestHashability:
     def test_equal_states_equal_hash(self):

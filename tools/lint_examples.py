@@ -1,0 +1,83 @@
+"""CI sweep: run ``zar lint`` over every example program.
+
+Clean examples (``examples/programs/*.gcl``) must carry no
+error-severity diagnostics (exit code < 2; warnings and infos are
+allowed).  Broken examples (``examples/programs/broken/*.gcl``) must
+exit non-zero and report every rule code named in their ``# expect:``
+header -- they are the lint suite's golden fixtures, so a silent pass
+there is itself a failure.
+
+Usage: ``python tools/lint_examples.py [examples/programs]``.
+"""
+
+import os
+import subprocess
+import sys
+
+
+def expected_codes(path):
+    codes = []
+    with open(path) as handle:
+        for line in handle:
+            if line.startswith("# expect:"):
+                codes.extend(line.split(":", 1)[1].split())
+    return codes
+
+
+def lint(path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", path],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        universal_newlines=True,
+    )
+    sys.stdout.write(proc.stdout)
+    return proc.returncode, proc.stdout
+
+
+def main(root):
+    failures = []
+    checked = 0
+    for dirpath, _dirs, files in sorted(os.walk(root)):
+        broken = os.path.basename(dirpath) == "broken"
+        for name in sorted(files):
+            if not name.endswith(".gcl"):
+                continue
+            path = os.path.join(dirpath, name)
+            print("== %s" % path)
+            code, output = lint(path)
+            checked += 1
+            if broken:
+                if code == 0:
+                    failures.append(
+                        "%s: broken example produced no diagnostics" % path
+                    )
+                expected = expected_codes(path)
+                if not expected:
+                    failures.append("%s: missing '# expect:' header" % path)
+                for rule in expected:
+                    if rule not in output:
+                        failures.append(
+                            "%s: expected %s, not reported" % (path, rule)
+                        )
+            elif code >= 2:
+                failures.append(
+                    "%s: error-severity diagnostics on a clean example"
+                    % path
+                )
+    print()
+    if not checked:
+        failures.append("no .gcl examples found under %s" % root)
+    for failure in failures:
+        print("FAIL: %s" % failure)
+    if failures:
+        return 1
+    print("lint sweep: %d program(s) clean" % checked)
+    return 0
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        "examples", "programs"
+    )
+    sys.exit(main(target))
