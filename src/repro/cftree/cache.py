@@ -25,7 +25,11 @@ from collections import OrderedDict
 from typing import Dict, Hashable, Tuple
 
 #: Fallback capacity when neither the env var nor the caller gives one.
-_DEFAULT_CAPACITY = 200_000
+#: Sized so that open-table workloads with a few hundred thousand
+#: reachable loop states (e.g. the fig. 9b race) keep their whole
+#: working set resident; the entries mostly alias objects the node
+#: table already pins, so the marginal footprint is dict overhead.
+_DEFAULT_CAPACITY = 1_000_000
 
 
 def env_int(name: str, default: int) -> int:
@@ -56,6 +60,8 @@ class BoundedCache:
     ``get``/``put`` take a key tuple plus (for identity-based keys) the
     objects whose identities appear in the key, kept alive alongside the
     value so their ids cannot be recycled while the entry is live.
+    Eviction is least-recently-*used*: hits refresh an entry's position,
+    so a recurring working set survives capacity pressure.
     """
 
     def __init__(self, capacity: int = None):
@@ -88,6 +94,10 @@ class BoundedCache:
             self.misses += 1
             return None
         self.hits += 1
+        # LRU refresh: under capacity pressure the loop-state working
+        # set recurs every sample, so evicting by insertion age (FIFO)
+        # would throw away exactly the hot entries.
+        self._entries.move_to_end(key)
         return entry[1]
 
     def put(self, key: Hashable, keepalive: tuple, value) -> None:

@@ -21,6 +21,7 @@ Definition 2.1 (probability in [0, 1], positive uniform range).
 """
 
 from repro.cftree.cache import BoundedCache
+from repro.cftree.keys import derive, tag
 from repro.cftree.monad import bind
 from repro.compiler.normalize import normalize_command, normalize_state
 from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
@@ -49,6 +50,23 @@ from repro.lang.values import as_bool, as_fraction, as_int
 # structurally equal programs share entries, and (unlike the earlier
 # ``id(command)`` keys) the key can never alias a recycled address.
 _COMPILE_CACHE = BoundedCache()
+
+# While commands are interned by normalize, so their footprints (the
+# variables guard+body can touch, see repro.compiler.liveness) are
+# memoized per canonical command -- one AST walk per program, not one
+# per loop-entry state.
+_FOOTPRINT_CACHE = BoundedCache(10_000)
+
+
+def _while_footprint(command: "While"):
+    hit = _FOOTPRINT_CACHE.get(id(command))
+    if hit is not None:
+        return hit[0]
+    from repro.compiler.liveness import command_footprint
+
+    footprint = command_footprint(command)
+    _FOOTPRINT_CACHE.put(id(command), (command,), (footprint,))
+    return footprint
 
 
 def compile_cache_stats():
@@ -96,7 +114,10 @@ def _compile(command: Command, sigma: State, coalesce: str) -> CFTree:
         second = command.second
         return bind(
             compile_cpgcl(command.first, sigma, coalesce),
-            lambda s: compile_cpgcl(second, s, coalesce),
+            tag(
+                lambda s: compile_cpgcl(second, s, coalesce),
+                derive("k.compile", second, coalesce),
+            ),
         )
     if isinstance(command, Ite):
         taken = command.then if as_bool(command.cond.eval(sigma)) else command.orelse
@@ -115,6 +136,10 @@ def _compile(command: Command, sigma: State, coalesce: str) -> CFTree:
         if n <= 0:
             raise UniformRangeError(n, sigma)
         name = command.name
+        # The setter continuation stays untagged on purpose: its key
+        # would embed sigma and be unique per state -- all cost (a state
+        # fingerprint per compile), no sharing.  The rejection wrapper
+        # it produces is closed out by expansion before any disk spill.
         return bind(
             uniform_tree(n, coalesce), lambda i: Leaf(sigma.set(name, i))
         )
@@ -127,5 +152,18 @@ def _compile(command: Command, sigma: State, coalesce: str) -> CFTree:
         def generate(s: State) -> CFTree:
             return compile_cpgcl(body, s, coalesce)
 
-        return Fix(sigma, guard, generate, Leaf)
+        # The command fully determines guard and body; cont is the pure
+        # Leaf injection, so the machinery subkey coincides with the
+        # full key.  init (= sigma) is digested separately by the
+        # "fixkey" tree emitter, so it is *not* part of the key.
+        key = derive("fix.while", command, coalesce)
+        return Fix(
+            sigma,
+            guard,
+            generate,
+            Leaf,
+            key=key,
+            subkey=key,
+            footprint=_while_footprint(command),
+        )
     raise TypeError("not a command: %r" % (command,))

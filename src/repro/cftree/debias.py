@@ -17,6 +17,7 @@ preservation (Theorem 3.8 / A.2) and unbiasedness of the result
 from fractions import Fraction
 
 from repro.cftree.cache import BoundedCache
+from repro.cftree.keys import derive
 from repro.cftree.monad import bind
 from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
 from repro.cftree.uniform import bernoulli_tree
@@ -49,16 +50,27 @@ def _debias(tree: CFTree, coalesce: str) -> CFTree:
         right = debias(tree.right, coalesce)
         if tree.prob == _HALF:
             return Choice(_HALF, left, right)
+        # The selector stays untagged on purpose: its key would embed
+        # the (state-carrying) branch trees and be unique per state --
+        # fingerprinting them per compile is all cost, no sharing.  The
+        # rejection wrapper ``bind`` builds here is closed out by
+        # expansion before any disk spill.
         return bind(
             bernoulli_tree(tree.prob, coalesce),
             lambda heads: left if heads else right,
         )
     if isinstance(tree, Fix):
         body, cont = tree.body, tree.cont
+        # Debiasing rewrites the body's choice structure, so the
+        # machinery subkey is re-derived; the variable footprint is a
+        # property of the source command and survives unchanged.
         return Fix(
             tree.init,
             tree.guard,
             lambda s: debias(body(s), coalesce),
             lambda s: debias(cont(s), coalesce),
+            key=derive("fix.debias", tree.key, coalesce),
+            subkey=derive("sub.debias", tree.subkey, coalesce),
+            footprint=tree.footprint,
         )
     raise TypeError("not a CF tree: %r" % (tree,))

@@ -12,6 +12,7 @@ never increases expected bit consumption.
 """
 
 from repro.cftree.cache import BoundedCache
+from repro.cftree.keys import derive
 from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
 
 _ELIM_CACHE = BoundedCache(200_000)
@@ -47,5 +48,8 @@ def _elim(tree: CFTree) -> CFTree:
             tree.guard,
             lambda s: elim_choices(body(s)),
             lambda s: elim_choices(cont(s)),
+            key=derive("fix.elim", tree.key),
+            subkey=derive("sub.elim", tree.subkey),
+            footprint=tree.footprint,
         )
     raise TypeError("not a CF tree: %r" % (tree,))

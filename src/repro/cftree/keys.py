@@ -1,0 +1,97 @@
+"""Content keys for ``Fix`` nodes and loop continuations.
+
+``Fix`` nodes contain closures, so they compare by identity and the
+PR 4 content-digest scheme (:mod:`repro.compiler.digest`) declares them
+``Undigestable``.  That identity semantics is what blows up open node
+tables: the engine memoizes loop entries on ``(id(fix), id(k), state)``,
+so structurally identical loop states reached through *different closure
+objects* (a fresh ``debias`` wrapper per compile, a fresh ``bind``
+continuation per leaf, ...) each intern a fresh row.
+
+This module defines the *content key* discipline that fixes that:
+
+- a key is a hex SHA-256 digest string (or ``None`` = opaque);
+- two ``Fix`` nodes with equal keys promise extensionally equal
+  ``(guard, body, cont)`` behavior — byte-for-byte identical sampling;
+- keys are derived structurally from the digests of whatever the
+  closures were built from (the source command, the inner tree's key,
+  the continuation's key), so two compiles of the same program produce
+  the same keys even though every closure object is fresh.
+
+Soundness rule: a derivation label + its parts must uniquely determine
+the behavior of the closures being keyed.  Distinct construction routes
+may yield distinct keys for behaviorally equal loops (that is safe —
+merely less sharing); equal keys for behaviorally distinct loops would
+be a miscompile, so every call site below keys on *all* inputs the
+closure captures.
+
+Continuation functions are tagged out-of-band via a ``zar_key``
+attribute (:func:`tag` / :func:`key_of`): plain lambdas simply report
+``None`` and stay opaque.
+"""
+
+from fractions import Fraction
+from typing import Any, Callable, Optional
+
+from repro.cftree.cache import BoundedCache
+
+__all__ = ["derive", "tag", "key_of"]
+
+# Key derivation runs on the sampler hot path (loop bodies are
+# recompiled once per distinct state), so derived keys are memoized.
+# Scalar parts key by value; object parts (commands, states, trees) key
+# by identity with the parts tuple kept alive -- commands are interned
+# by the normalize stage, so identical programs hit the same entry.
+# None results (undigestable parts) are cached too: a program with an
+# Opaque expression must not re-walk its AST on every compile.
+_DERIVE_CACHE = BoundedCache()
+
+
+def _part_token(part: Any):
+    if isinstance(part, (str, bool, int, Fraction)):
+        return part
+    return ("#", id(part))
+
+
+def derive(label: str, *parts: Any) -> Optional[str]:
+    """Derive a content key from ``label`` and digestable ``parts``.
+
+    Parts may be commands, states, CF trees, values, or already-derived
+    key strings.  Returns ``None`` (opaque) if any part is ``None`` or
+    fails to digest — deriving a key is always best-effort, never an
+    error.
+    """
+    if any(part is None for part in parts):
+        return None
+    cache_key = (label,) + tuple(_part_token(part) for part in parts)
+    hit = _DERIVE_CACHE.get(cache_key)
+    if hit is not None:
+        return hit[0]
+    # Imported lazily: repro.compiler.__init__ is a lazy-export shim, so
+    # this does not create a cftree <-> compiler import cycle.
+    from repro.compiler.digest import Undigestable, fingerprint
+
+    try:
+        result = fingerprint("fixkey:" + label, *parts)
+    except Undigestable:
+        result = None
+    _DERIVE_CACHE.put(cache_key, parts, (result,))
+    return result
+
+
+def tag(fn: Callable, key: Optional[str]) -> Callable:
+    """Attach content key ``key`` to continuation ``fn`` (best-effort).
+
+    Returns ``fn`` for chaining.  A ``None`` key leaves ``fn`` untagged.
+    """
+    if key is not None:
+        try:
+            fn.zar_key = key  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+    return fn
+
+
+def key_of(fn: Any) -> Optional[str]:
+    """The content key of a tagged continuation, or ``None`` if opaque."""
+    return getattr(fn, "zar_key", None)

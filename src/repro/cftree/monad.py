@@ -7,6 +7,7 @@ defers into its continuation, so binding never forces a loop.
 
 from typing import Callable
 
+from repro.cftree.keys import derive, key_of, tag
 from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
 
 
@@ -20,11 +21,22 @@ def bind(tree: CFTree, k: Callable[[object], CFTree]) -> CFTree:
         return Choice(tree.prob, bind(tree.left, k), bind(tree.right, k))
     if isinstance(tree, Fix):
         cont = tree.cont
+        # The wrapper's behavior is determined by the inner loop plus k,
+        # so its key derives from both; either being opaque makes the
+        # wrapper opaque.  Guard and body pass through untouched, so the
+        # machinery subkey and footprint are inherited verbatim.
+        key = derive("fix.bind", tree.key, key_of(k))
         return Fix(
             tree.init,
             tree.guard,
             tree.body,
-            lambda s: bind(cont(s), k),
+            tag(
+                lambda s: bind(cont(s), k),
+                derive("k.bind", key_of(cont), key_of(k)),
+            ),
+            key=key,
+            subkey=tree.subkey,
+            footprint=tree.footprint,
         )
     raise TypeError("not a CF tree: %r" % (tree,))
 

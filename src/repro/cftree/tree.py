@@ -129,9 +129,26 @@ class Fix(CFTree[A], Generic[S, A]):
     Operationally: starting from ``Leaf(init)``, repeatedly extend leaves
     ``s`` via ``body(s)`` while ``guard(s)`` holds; leaves with a false
     guard continue into ``cont(s)``.
+
+    ``key`` is an optional *content key* (a hex digest produced by
+    :mod:`repro.cftree.keys`): two ``Fix`` nodes carrying the same key
+    promise extensionally equal ``(guard, body, cont)`` behavior, so the
+    engine may intern loop entries across distinct closure objects and
+    the disk cache may address loop states by ``(key, state)``.  A
+    ``None`` key makes the node opaque (identity semantics), exactly the
+    pre-key behavior.
+
+    ``subkey`` keys the loop *machinery* alone -- equal subkeys promise
+    extensionally equal ``(guard, body)`` behavior, ignoring ``cont``.
+    ``footprint`` is the loop's variable footprint: a frozenset of names
+    such that guard and body only ever read or write variables inside
+    it (``None`` = unknown).  Together they let the engine run the loop
+    as a *subroutine* on the footprint projection of the state, sharing
+    one copy of the machinery across every frame of untouched outer
+    variables (see ``repro.engine.table``).
     """
 
-    __slots__ = ("init", "guard", "body", "cont")
+    __slots__ = ("init", "guard", "body", "cont", "key", "subkey", "footprint")
 
     def __init__(
         self,
@@ -139,11 +156,17 @@ class Fix(CFTree[A], Generic[S, A]):
         guard: Callable[[S], bool],
         body: Callable[[S], CFTree[S]],
         cont: Callable[[S], CFTree[A]],
+        key: "str | None" = None,
+        subkey: "str | None" = None,
+        footprint: "frozenset | None" = None,
     ):
         object.__setattr__(self, "init", init)
         object.__setattr__(self, "guard", guard)
         object.__setattr__(self, "body", body)
         object.__setattr__(self, "cont", cont)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "subkey", subkey)
+        object.__setattr__(self, "footprint", footprint)
 
     def __setattr__(self, *_):
         raise AttributeError("Fix is immutable")

@@ -34,6 +34,7 @@ the random bit model.
 from fractions import Fraction
 from typing import List
 
+from repro.cftree.keys import derive
 from repro.cftree.tree import CFTree, Choice, Fix, LOOPBACK, Leaf
 
 COALESCE_MODES = ("loopback", "full", "none")
@@ -99,7 +100,10 @@ def rejection_tree(outcomes: List[CFTree], coalesce: str = "loopback") -> CFTree
     def cont(s):
         return Leaf(s)
 
-    return Fix(LOOPBACK, guard, body, cont)
+    # The flip scheme is a pure Choice/Leaf tree (digestable) and fully
+    # determines the rejection loop: guard is the LOOPBACK sentinel
+    # test, body is constantly ``flips``, cont the Leaf injection.
+    return Fix(LOOPBACK, guard, body, cont, key=derive("fix.reject", flips))
 
 
 # Trees are immutable and the same small trees are requested once per

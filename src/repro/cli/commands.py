@@ -228,6 +228,19 @@ def _print_pipeline_stats(program, sigma, args, out: TextIO) -> None:
         "closed" if lower.get("closed") else "open: loop states expand "
         "lazily during sampling",
     ), file=out)
+    if not lower.get("closed"):
+        from repro.engine.freeze import freeze_report
+
+        frz = freeze_report(prog.table)
+        print("  cacheable:     %s (%d/%d pendings keyed, %d/%d calls, "
+              "%d/%d memo entries)" % (
+                  "yes" if frz["spillable"] else
+                  "no (unkeyed call records)",
+                  frz["pending_keyed"],
+                  frz["pending_keyed"] + frz["pending_unkeyed"],
+                  frz["calls"] - frz["calls_unkeyed"], frz["calls"],
+                  frz["memo_keyed"], frz["memo_entries"],
+              ), file=out)
     memo = stats.get("cftree_cache") or {}
     artifacts = get_cache().stats()
     print("  compile memo:  %d hits / %d misses (capacity %d)" % (

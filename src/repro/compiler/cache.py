@@ -11,9 +11,11 @@ initial state, and every compilation option that affects the output
   being redone);
 - an optional **on-disk store** (one pickle per digest) so separate
   processes -- CLI invocations, CI runs, benchmark sweeps -- skip
-  compilation entirely.  Only *closed* tables (every loop entry
-  expanded) are spilled: open tables contain ``Fix`` closures, which
-  have no meaningful serialization.
+  compilation entirely.  Closed tables spill as plain row arrays; *open*
+  tables (warm loop-state spaces mid-expansion) spill through
+  :mod:`repro.engine.freeze`, which replaces every ``Fix`` closure by
+  its content-digest triple and rebinds fresh closures on load, so even
+  JIT expansion work survives across processes.
 
 Configuration: ``configure_cache(capacity=..., disk_dir=...)`` or the
 environment variables ``ZAR_COMPILE_CACHE_SIZE`` (entry bound, default
@@ -32,7 +34,8 @@ from repro.cftree.cache import env_int
 from repro.compiler.digest import DIGEST_VERSION
 
 #: Bump to invalidate on-disk artifacts when the table encoding changes.
-_DISK_FORMAT = 1
+#: 2: open tables spill as content-digest triples (repro.engine.freeze).
+_DISK_FORMAT = 2
 
 
 class CompilationCache:

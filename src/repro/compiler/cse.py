@@ -104,11 +104,16 @@ class TreeInterner:
         if entry is not None and entry[0] is fix:
             return entry[1]
         body, cont = fix.body, fix.cont
+        # CSE only aliases equal subtrees (bit-exact), so the wrapper
+        # keeps the wrapped loop's content key, subkey, and footprint.
         wrapper = Fix(
             fix.init,
             fix.guard,
             lambda s: self.intern(body(s)),
             lambda s: self.intern(cont(s)),
+            key=fix.key,
+            subkey=fix.subkey,
+            footprint=fix.footprint,
         )
         self._fix_wrappers[id(fix)] = (fix, wrapper)
         # The wrapper is its own canonical form: re-interning it (e.g.

@@ -18,11 +18,14 @@ Digests are defined for:
 - CF trees built of ``Leaf``/``Fail``/``Choice`` nodes.
 
 :class:`~repro.lang.expr.Opaque` expressions (arbitrary Python
-functions) and ``Fix`` tree nodes (which contain closures) have no
-canonical serialization; fingerprinting them raises :class:`Undigestable`
-and callers fall back to in-memory memoization only.  Note that a
-*command* containing loops digests fine -- ``While`` is pure syntax;
-only already-built ``Fix`` tree nodes are opaque.
+functions) and *unkeyed* ``Fix`` tree nodes (which contain closures)
+have no canonical serialization; fingerprinting them raises
+:class:`Undigestable` and callers fall back to in-memory memoization
+only.  ``Fix`` nodes carrying a content key (``fix.key``, derived by
+:mod:`repro.cftree.keys` from whatever the closures were built from)
+digest as ``(key, init)``.  Note that a *command* containing loops
+digests fine -- ``While`` is pure syntax; only already-built unkeyed
+``Fix`` tree nodes are opaque.
 
 The serialization is type-tagged and length-prefixed, so distinct shapes
 cannot collide by concatenation (``("ab", "c")`` vs ``("a", "bc")``).
@@ -218,7 +221,14 @@ def _emit_tree(h, tree) -> None:
             [(None, tree.prob), ("left", tree.left), ("right", tree.right)],
         )
     elif isinstance(tree, Fix):
-        raise Undigestable("Fix nodes contain closures; no content digest")
+        # A content-keyed Fix digests via its key: the key is itself a
+        # digest of everything the loop closures were built from (see
+        # repro.cftree.keys), so (key, init) determines the node's
+        # sampling behavior.  Unkeyed Fix nodes stay opaque.
+        if tree.key is not None:
+            _tag2(h, "fixkey", [(None, tree.key), ("init", tree.init)])
+        else:
+            raise Undigestable("Fix nodes contain closures; no content digest")
     elif isinstance(tree, CFTree):
         raise Undigestable("unknown CF tree %r" % (tree,))
     else:

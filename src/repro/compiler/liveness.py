@@ -1,0 +1,267 @@
+"""Liveness-driven loop-state narrowing (``narrow_command``).
+
+The open-table engine interns one node-table row per distinct loop
+state.  Loop bodies that use scratch variables -- the discrete-Gaussian
+sampler of Figure 13 burns through ``a``/``b``/``u``/``v``/``ol``/... --
+leave those temporaries bound in the state at the loop head, so two
+iterations that agree on every variable the program will ever read again
+still look distinct to the interner.  On the Figure 9b hare-tortoise
+race this pollution is a ~22x state-space blowup: ~48k distinct full
+states versus ~2.2k projected onto the live ``{t0, time, hare,
+tortoise}``.
+
+``narrow_command`` removes the pollution at the *command* level: a
+standard backward liveness analysis finds, for every ``while`` loop, the
+variables assigned in its body but **dead at the loop head** (not read
+by the guard, the body before reassignment, or anything after the
+loop), and inserts ``v := 0`` resets before the loop and at the body
+tail.  Because :class:`repro.lang.state.State` canonically drops
+integer-0 bindings, a reset variable is *absent* from the state, so all
+iterations collapse onto the live projection.
+
+Why this preserves sampling exactly:
+
+- resets are plain assignments -- they consume no random bits and do not
+  change control flow;
+- a reset variable is dead at every reset point, so no later read can
+  observe the 0 (reads inside *dead* assignments are conservatively kept
+  live, so an expression that could fault keeps its inputs un-reset);
+- the transform runs on the command, before compilation, so the
+  trampoline and the engine sample the *same* narrowed program and stay
+  bit-for-bit identical (the differential suite pins this).
+
+The one behavioral caveat: the transform changes *final states* (dead
+temporaries read as 0 afterwards), and downstream leaf-coalescing
+(``elim_choices``) may merge branches that only differed in dead
+temporaries -- strictly fewer random bits, never different live values.
+On the benchmark programs no such merge triggers, so recorded paper bit
+counts are unchanged; the narrowing is nonetheless **opt-in** (the
+``narrow`` flag of ``run_row``/``collect_auto``), not a default pass.
+
+``Opaque`` expressions with undeclared free variables (the ``"*"``
+token) poison the analysis to "everything is live", so narrowing
+degrades to the identity on programs it cannot see through.
+"""
+
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.lang.expr import Expr, Lit
+from repro.lang.syntax import (
+    Assign,
+    Choice,
+    Command,
+    Ite,
+    Observe,
+    Seq,
+    Skip,
+    Uniform,
+    While,
+)
+
+__all__ = ["narrow_command", "live_before", "command_footprint", "TOP"]
+
+#: The "all variables live" lattice top (an unanalyzable read was seen).
+TOP = None
+
+_Live = Optional[FrozenSet[str]]  # frozenset of names, or TOP
+
+
+def _reads(expr: Expr) -> _Live:
+    names = expr.free_vars()
+    if "*" in names:
+        return TOP
+    return names
+
+
+def _union(*parts: _Live) -> _Live:
+    out: FrozenSet[str] = frozenset()
+    for part in parts:
+        if part is TOP:
+            return TOP
+        out |= part
+    return out
+
+
+def assigned_vars(command: Command) -> FrozenSet[str]:
+    """All syntactic assignment targets (``:=`` and ``<~``) in ``command``."""
+    if isinstance(command, (Skip, Observe)):
+        return frozenset()
+    if isinstance(command, (Assign, Uniform)):
+        return frozenset((command.name,))
+    if isinstance(command, Seq):
+        return assigned_vars(command.first) | assigned_vars(command.second)
+    if isinstance(command, Ite):
+        return assigned_vars(command.then) | assigned_vars(command.orelse)
+    if isinstance(command, Choice):
+        return assigned_vars(command.left) | assigned_vars(command.right)
+    if isinstance(command, While):
+        return assigned_vars(command.body)
+    raise TypeError("not a command: %r" % (command,))
+
+
+def command_footprint(command: Command) -> _Live:
+    """Every variable ``command`` can read *or* write (syntactically).
+
+    Used to mark ``while`` loops for the engine's subroutine-call
+    mechanism: a loop whose guard+body footprint is ``F`` never touches
+    variables outside ``F``, so the engine may run it on the state's
+    ``F``-projection and splice the untouched frame back in afterwards.
+    Returns ``TOP`` (``None``) when an ``Opaque`` expression hides its
+    reads -- such loops stay uncallable.
+    """
+    if isinstance(command, Skip):
+        return frozenset()
+    if isinstance(command, (Assign, Uniform)):
+        expr = command.expr if isinstance(command, Assign) else command.range_expr
+        return _union(frozenset((command.name,)), _reads(expr))
+    if isinstance(command, Observe):
+        return _reads(command.pred)
+    if isinstance(command, Seq):
+        return _union(
+            command_footprint(command.first), command_footprint(command.second)
+        )
+    if isinstance(command, Ite):
+        return _union(
+            _reads(command.cond),
+            command_footprint(command.then),
+            command_footprint(command.orelse),
+        )
+    if isinstance(command, Choice):
+        return _union(
+            _reads(command.prob),
+            command_footprint(command.left),
+            command_footprint(command.right),
+        )
+    if isinstance(command, While):
+        return _union(_reads(command.cond), command_footprint(command.body))
+    raise TypeError("not a command: %r" % (command,))
+
+
+def live_before(command: Command, live_after: _Live) -> _Live:
+    """Backward liveness transfer: variables whose value before
+    ``command`` may still be read, given the set live after it.
+
+    Guard, bias, and range expressions are always live (they steer
+    control flow and bit consumption); so are the inputs of *dead*
+    assignments (the expression is still evaluated and must not fault
+    differently).  Only the kill of an assignment target is exploited.
+    """
+    if live_after is TOP:
+        return TOP
+    if isinstance(command, Skip):
+        return live_after
+    if isinstance(command, (Assign, Uniform)):
+        expr = command.expr if isinstance(command, Assign) else command.range_expr
+        return _union(live_after - {command.name}, _reads(expr))
+    if isinstance(command, Observe):
+        return _union(live_after, _reads(command.pred))
+    if isinstance(command, Seq):
+        return live_before(command.first, live_before(command.second, live_after))
+    if isinstance(command, Ite):
+        return _union(
+            _reads(command.cond),
+            live_before(command.then, live_after),
+            live_before(command.orelse, live_after),
+        )
+    if isinstance(command, Choice):
+        return _union(
+            _reads(command.prob),
+            live_before(command.left, live_after),
+            live_before(command.right, live_after),
+        )
+    if isinstance(command, While):
+        return _loop_head_live(command, live_after)
+    raise TypeError("not a command: %r" % (command,))
+
+
+def _loop_head_live(loop: While, live_after: _Live) -> _Live:
+    """The liveness fixpoint at a loop head.
+
+    ``L = live_after ∪ reads(guard) ∪ live_before(body, L)`` -- monotone
+    over a finite variable universe, so the iteration terminates (and
+    collapses immediately on TOP).
+    """
+    live = _union(live_after, _reads(loop.cond))
+    while live is not TOP:
+        step = _union(live, live_before(loop.body, live))
+        if step == live:
+            break
+        live = step
+    return live
+
+
+def _resets(names: Iterable[str]) -> Optional[Command]:
+    chain: Optional[Command] = None
+    for name in sorted(names):
+        assign = Assign(name, Lit(0))
+        chain = assign if chain is None else Seq(chain, assign)
+    return chain
+
+
+def _rewrite(
+    command: Command, live_after: _Live, universe: FrozenSet[str]
+) -> Tuple[Command, _Live]:
+    """One backward pass computing liveness and inserting loop resets.
+
+    ``universe`` is every assignment target of the whole program: the
+    reset candidates at a loop head are *all* of them that are dead
+    there, not just the targets of that loop's own body -- scratch left
+    behind by an earlier phase (laplace temporaries surviving into the
+    accept-loop of the Figure 13 Gaussian) pollutes inner loop heads
+    just as much as the loop's own scratch does.
+    """
+    if isinstance(command, (Skip, Assign, Uniform, Observe)):
+        return command, live_before(command, live_after)
+    if isinstance(command, Seq):
+        second, mid = _rewrite(command.second, live_after, universe)
+        first, live = _rewrite(command.first, mid, universe)
+        if first is command.first and second is command.second:
+            return command, live
+        return Seq(first, second), live
+    if isinstance(command, Ite):
+        then, live_t = _rewrite(command.then, live_after, universe)
+        orelse, live_e = _rewrite(command.orelse, live_after, universe)
+        live = _union(_reads(command.cond), live_t, live_e)
+        if then is command.then and orelse is command.orelse:
+            return command, live
+        return Ite(command.cond, then, orelse), live
+    if isinstance(command, Choice):
+        left, live_l = _rewrite(command.left, live_after, universe)
+        right, live_r = _rewrite(command.right, live_after, universe)
+        live = _union(_reads(command.prob), live_l, live_r)
+        if left is command.left and right is command.right:
+            return command, live
+        return Choice(command.prob, left, right), live
+    if isinstance(command, While):
+        head = _loop_head_live(command, live_after)
+        body, _ = _rewrite(command.body, head, universe)
+        dead = () if head is TOP else universe - head
+        resets = _resets(dead)
+        if resets is None:
+            if body is command.body:
+                return command, head
+            return While(command.cond, body), head
+        # Zero the dead scratch at the body tail (each iteration re-enters
+        # the head on the live projection) and once before the loop (the
+        # entry state collapses too).  Dead-at-head is safe at both
+        # points: the head's live set already includes everything read
+        # after the loop.
+        loop = While(command.cond, Seq(body, resets))
+        return Seq(resets, loop), head
+    raise TypeError("not a command: %r" % (command,))
+
+
+def narrow_command(
+    command: Command, observed: Iterable[str] = ()
+) -> Command:
+    """Insert dead-temporary resets around every loop of ``command``.
+
+    ``observed`` names the variables still read *after* the program
+    exits (the extracted/reported variables); everything else is live
+    only where the program itself reads it.  Returns ``command``
+    unchanged (same object) when no loop has narrowable scratch.
+    """
+    rewritten, _ = _rewrite(
+        command, frozenset(observed), assigned_vars(command)
+    )
+    return rewritten

@@ -13,9 +13,9 @@ directly.
 The interner pays one deep structural hash the first time it sees an
 object, then answers by address (an id-keyed side table that holds a
 strong reference to the keyed object, so the id cannot be recycled while
-the entry lives).  The table is bounded; overflowing resets it, which
-costs re-interning but never correctness (a stale canonical object is
-still structurally equal to its replacements).
+the entry lives).  The table is bounded; overflowing drops the oldest
+half, which costs re-interning but never correctness (a stale canonical
+object is still structurally equal to its replacements).
 """
 
 from typing import Dict, Tuple
@@ -27,7 +27,7 @@ from repro.lang.syntax import Command
 class Interner:
     """Structural hash-consing with an id-keyed fast path."""
 
-    def __init__(self, capacity: int = 65_536):
+    def __init__(self, capacity: int = 1_048_576):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
@@ -50,7 +50,13 @@ class Interner:
         if canonical is None:
             self.misses += 1
             if len(self._canon) >= self._capacity:
-                self._canon.clear()
+                # Drop the oldest half rather than clearing: a full
+                # clear would change the identity of *every* canonical
+                # object at once and cold-start each downstream memo
+                # keyed on those ids (the compile cache foremost).
+                canon = self._canon
+                for key in list(canon)[: len(canon) // 2]:
+                    del canon[key]
                 self._by_id.clear()
             self._canon[obj] = obj
             canonical = obj

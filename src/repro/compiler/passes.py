@@ -31,6 +31,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.cftree.debias import debias
 from repro.cftree.elim import elim_choices
+from repro.cftree.keys import derive
 from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
 from repro.compiler.cse import TreeInterner, cse
 
@@ -139,11 +140,16 @@ def _coalesce(tree: CFTree, memo: Dict[int, Tuple[CFTree, CFTree]]) -> CFTree:
             result = Choice(tree.prob, left, right)
     elif isinstance(tree, Fix):
         body, cont = tree.body, tree.cont
+        # Coalescing changes bit consumption, so the wrapper gets a
+        # *distinct* derived key (never the wrapped loop's own key).
         result = Fix(
             tree.init,
             tree.guard,
             lambda s: _coalesce(body(s), memo),
             lambda s: _coalesce(cont(s), memo),
+            key=derive("fix.coalesce", tree.key),
+            subkey=derive("sub.coalesce", tree.subkey),
+            footprint=tree.footprint,
         )
     else:
         raise TypeError("not a CF tree: %r" % (tree,))

@@ -133,38 +133,58 @@ class CompiledProgram:
     # -- disk round-trip -------------------------------------------------
 
     def disk_payload(self) -> Optional[dict]:
-        """A picklable record, or None (open tables contain closures).
+        """A picklable record, or None when the table is unspillable.
 
+        Closed tables serialize as plain row arrays.  *Open* tables --
+        warm loop-state spaces mid-expansion -- freeze through
+        :mod:`repro.engine.freeze`: rows plus every keyed memo entry,
+        pending stub, and call record as content-digest triples.
         Unpicklable payload values (exotic leaf objects) are caught by
         the cache's store path, which discards the artifact.
         """
         table = self.table
-        if table.pending_stubs:
-            return None
-        return {
+        common = {
             "digest": self.digest,
             "coalesce": self.coalesce,
             "passes": self.passes,
-            "max_nodes": table.max_nodes,
-            "op": list(table.op),
-            "a": list(table.a),
-            "b": list(table.b),
-            "payload": list(table.payload),
-            "payloads": list(table.payloads),
-            "root": table.root,
             "stats": self.stats,
         }
+        if table.pending_stubs or table.calls:
+            from repro.engine.freeze import freeze_table
+
+            frozen = freeze_table(table)
+            if frozen is None:
+                return None
+            common["open"] = frozen
+            return common
+        common.update(
+            {
+                "max_nodes": table.max_nodes,
+                "op": list(table.op),
+                "a": list(table.a),
+                "b": list(table.b),
+                "payload": list(table.payload),
+                "payloads": list(table.payloads),
+                "root": table.root,
+            }
+        )
+        return common
 
     @classmethod
     def from_disk_payload(cls, payload: dict) -> "CompiledProgram":
-        table = NodeTable(payload["max_nodes"])
-        table.op = list(payload["op"])
-        table.a = list(payload["a"])
-        table.b = list(payload["b"])
-        table.payload = list(payload["payload"])
-        table.payloads = list(payload["payloads"])
-        table.root = payload["root"]
-        table.version = 1
+        if "open" in payload:
+            from repro.engine.freeze import thaw_table
+
+            table = thaw_table(payload["open"])
+        else:
+            table = NodeTable(payload["max_nodes"])
+            table.op = list(payload["op"])
+            table.a = list(payload["a"])
+            table.b = list(payload["b"])
+            table.payload = list(payload["payload"])
+            table.payloads = list(payload["payloads"])
+            table.root = payload["root"]
+            table.version = 1
         stats = dict(payload.get("stats") or {})
         return cls(
             command=None,
@@ -263,6 +283,19 @@ class Pipeline:
         if digest is not None and cache is not None and not measure_raw:
             hit = cache.get(digest)
             if hit is not None:
+                if getattr(hit.table, "needs_rebind", False):
+                    # Thawed open table: recompile the (cheap) tree and
+                    # re-attach live closures; expansions are *not*
+                    # redone -- that is the whole point of the spill.
+                    t0 = time.perf_counter()
+                    tree = self._rebuild_tree(command, sigma)
+                    hit.table.thaw_bind(tree)
+                    hit.tree = tree
+                    hit.stats["thaw"] = {
+                        "seconds": time.perf_counter() - t0,
+                        "rows": len(hit.table),
+                        "pending": hit.table.pending_stubs,
+                    }
                 return hit
 
         stats: Dict[str, object] = {
@@ -352,6 +385,17 @@ class Pipeline:
         if digest is not None and cache is not None and not measure_raw:
             hit = cache.get(digest)
             if hit is not None:
+                if getattr(hit.table, "needs_rebind", False):
+                    t0 = time.perf_counter()
+                    ctx = PassContext(coalesce=self.coalesce)
+                    bound, _ = self._optimize(tree, ctx)
+                    hit.table.thaw_bind(bound)
+                    hit.tree = bound
+                    hit.stats["thaw"] = {
+                        "seconds": time.perf_counter() - t0,
+                        "rows": len(hit.table),
+                        "pending": hit.table.pending_stubs,
+                    }
                 return hit
 
         stats: Dict[str, object] = {
@@ -380,6 +424,19 @@ class Pipeline:
         return program
 
     # -- helpers ---------------------------------------------------------
+
+    def _rebuild_tree(self, command: Command, sigma: State) -> CFTree:
+        """The optimized tree for ``(command, sigma)``, without stats
+        bookkeeping -- used to rebind thawed open tables."""
+        build_command = command
+        for entry in self.command_passes:
+            build_command, _ = entry.run(build_command, sigma)
+        if build_command is not command:
+            build_command = normalize_command(build_command)
+        tree = compile_cpgcl(build_command, sigma, self.coalesce)
+        ctx = PassContext(coalesce=self.coalesce)
+        tree, _ = self._optimize(tree, ctx)
+        return tree
 
     def _optimize(self, tree, ctx):
         records: List[dict] = []

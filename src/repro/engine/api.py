@@ -17,7 +17,7 @@ harness and benchmarks consume either interchangeably.  Backends:
   whenever ``source`` is given).
 """
 
-from typing import Callable, List, NamedTuple, Optional
+from typing import Callable, List, NamedTuple, Optional, Tuple
 
 from repro.bits.source import BitSource, CountingBits
 from repro.cftree.tree import CFTree
@@ -49,6 +49,8 @@ def collect_auto(
     extract: Optional[Callable[[object], object]] = None,
     engine: str = "auto",
     fuel: Optional[int] = None,
+    narrow: bool = False,
+    observed: Optional[Tuple[str, ...]] = None,
 ) -> CollectResult:
     """Engine-selection policy shared by the harness, CLI, and checkers.
 
@@ -56,9 +58,22 @@ def collect_auto(
     trampoline when lowering fails; ``"batch"`` propagates the
     :class:`LoweringError` instead; ``"trampoline"`` forces the
     per-sample reference driver.
+
+    ``narrow=True`` applies liveness-driven loop-state narrowing
+    (:func:`repro.compiler.liveness.narrow_command`) before sampling;
+    ``observed`` names the variables whose final values the caller will
+    read (they are kept live through the transform).  The narrowing
+    happens at the command level, so the batch engine and the
+    trampoline fallback sample the same narrowed program.
     """
     if engine not in ENGINES:
         raise ValueError("unknown engine %r" % (engine,))
+    if narrow:
+        from repro.compiler.liveness import narrow_command
+
+        command = narrow_command(
+            command, observed=tuple(observed) if observed else ()
+        )
     if engine != "trampoline":
         try:
             sampler = BatchSampler.from_command(command, sigma)

@@ -21,6 +21,7 @@ the trampoline's fuel; the exact step counts differ because the table
 has no ``Tau`` nodes).
 """
 
+from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
 from repro.bits.source import BitSource
@@ -28,6 +29,7 @@ from repro.engine import pool as _pool
 from repro.engine.table import (
     NodeTable,
     OP_BIT,
+    OP_CALL,
     OP_FAIL,
     OP_JMP,
     OP_LEAF,
@@ -51,6 +53,29 @@ class EngineFail:
 
 
 ENGINE_FAIL = EngineFail()
+
+
+@contextmanager
+def _gc_guard():
+    """Shield batch sampling from generational GC rescans.
+
+    A warm open table pins hundreds of thousands of rows, states, and
+    memo entries; every gen-2 collection walks all of them, which can
+    triple batch latency.  ``gc.freeze`` parks the current heap in the
+    permanent generation for the duration of the batch -- cycles among
+    *new* objects are still collected -- and ``gc.unfreeze`` restores
+    normal behavior afterwards.
+    """
+    import gc
+
+    if not gc.isenabled():
+        yield
+        return
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
 
 
 def run_table(
@@ -77,6 +102,11 @@ def _step_indices(
     root = table.root
     i = root
     steps = 0
+    # Frame-separated loop calls: OP_CALL pushes its record id, a leaf
+    # with a non-empty stack is a subroutine exit, and a tied failure
+    # restarts the *whole* sample, unwinding every frame.  Calls and
+    # returns consume no bits.
+    stack: List[int] = []
     while True:
         if max_steps is not None:
             steps += 1
@@ -86,15 +116,22 @@ def _step_indices(
         if o == OP_BIT:
             i = a[i] if source.next_bit() else b[i]
         elif o == OP_LEAF:
-            return payload[i]
+            if stack:
+                i = table.call_return(stack.pop(), payload[i])
+            else:
+                return payload[i]
         elif o == OP_JMP:
             i = a[i]
         elif o == OP_STUB:
             table.expand(i)
+        elif o == OP_CALL:
+            stack.append(payload[i])
+            i = a[i]
         else:  # OP_FAIL
             if not tied:
                 return -1
             i = root
+            del stack[:]
 
 
 def collect_python(
@@ -125,6 +162,7 @@ def collect_python(
     op, a, b, payload = table.op, table.a, table.b, table.payload
     root = table.root
     expand = table.expand
+    call_return = table.call_return
     next_chunk = supply.next_chunk
     buf = 0
     left = 0
@@ -132,32 +170,42 @@ def collect_python(
     counts: List[int] = []
     add_index = indices.append
     add_count = counts.append
-    for _ in range(n):
-        i = root
-        used = 0
-        while True:
-            o = op[i]
-            if o == OP_BIT:
-                if left == 0:
-                    buf, left = next_chunk()
-                i = (a[i] if buf & 1 else b[i])
-                buf >>= 1
-                left -= 1
-                used += 1
-            elif o == OP_LEAF:
-                add_index(payload[i])
-                add_count(used)
-                break
-            elif o == OP_JMP:
-                i = a[i]
-            elif o == OP_STUB:
-                expand(i)
-            else:  # OP_FAIL
-                if not tied:
-                    add_index(-1)
+    stack: List[int] = []
+    with _gc_guard():
+        for _ in range(n):
+            i = root
+            used = 0
+            del stack[:]
+            while True:
+                o = op[i]
+                if o == OP_BIT:
+                    if left == 0:
+                        buf, left = next_chunk()
+                    i = (a[i] if buf & 1 else b[i])
+                    buf >>= 1
+                    left -= 1
+                    used += 1
+                elif o == OP_LEAF:
+                    if stack:
+                        i = call_return(stack.pop(), payload[i])
+                        continue
+                    add_index(payload[i])
                     add_count(used)
                     break
-                i = root
+                elif o == OP_JMP:
+                    i = a[i]
+                elif o == OP_STUB:
+                    expand(i)
+                elif o == OP_CALL:
+                    stack.append(payload[i])
+                    i = a[i]
+                else:  # OP_FAIL
+                    if not tied:
+                        add_index(-1)
+                        add_count(used)
+                        break
+                    i = root
+                    del stack[:]
     return indices, counts
 
 
@@ -244,19 +292,20 @@ def collect_numpy(
     out_index = np.empty(n, dtype=np.int64)
     out_bits = np.empty(n, dtype=np.int64)
     start = 0
-    while start < n:
-        width = min(lanes, n - start)
-        _run_lanes(
-            table,
-            view,
-            rng,
-            width,
-            out_index[start : start + width],
-            out_bits[start : start + width],
-            max_steps,
-            tied,
-        )
-        start += width
+    with _gc_guard():
+        while start < n:
+            width = min(lanes, n - start)
+            _run_lanes(
+                table,
+                view,
+                rng,
+                width,
+                out_index[start : start + width],
+                out_bits[start : start + width],
+                max_steps,
+                tied,
+            )
+            start += width
     return out_index, out_bits
 
 
@@ -267,6 +316,13 @@ def _run_lanes(table, view, rng, width, out_index, out_bits, max_steps, tied):
     cur = np.full(width, root, dtype=np.int32)
     used = np.zeros(width, dtype=np.int64)
     active = np.arange(width, dtype=np.int64)
+    # Per-lane call stacks for frame-separated loop calls (OP_CALL):
+    # ``stack[lane, :depth[lane]]`` holds the record ids of the calls in
+    # flight.  Returns resolve through ``table.call_return`` once per
+    # *distinct* (record, exit payload) pair per step; steady state is
+    # pure array gathers.
+    depth = np.zeros(width, dtype=np.int64)
+    stack = np.zeros((width, 4), dtype=np.int64)
     steps = 0
     while active.size:
         if max_steps is not None:
@@ -293,7 +349,42 @@ def _run_lanes(table, view, rng, width, out_index, out_bits, max_steps, tied):
             if jump.all():
                 continue
 
+        call = ops == OP_CALL
+        if call.any():
+            lanes_ = active[call]
+            depths = depth[lanes_]
+            need = int(depths.max()) + 1
+            if need > stack.shape[1]:
+                grown = np.zeros(
+                    (width, max(need, 2 * stack.shape[1])), dtype=np.int64
+                )
+                grown[:, : stack.shape[1]] = stack
+                stack = grown
+            nodes = cur[lanes_]
+            stack[lanes_, depths] = view.payload[nodes]
+            depth[lanes_] = depths + 1
+            cur[lanes_] = view.a[nodes]
+
         leaf = ops == OP_LEAF
+        if leaf.any():
+            lanes_ = active[leaf]
+            returning = depth[lanes_] > 0
+            if returning.any():
+                ret = lanes_[returning]
+                depth[ret] -= 1
+                records = stack[ret, depth[ret]]
+                exits = view.payload[cur[ret]]
+                pair = (records << 32) | exits
+                uniq, inverse = np.unique(pair, return_inverse=True)
+                targets = np.empty(uniq.size, dtype=np.int64)
+                resolve = table.call_return
+                for j in range(uniq.size):
+                    packed = int(uniq[j])
+                    targets[j] = resolve(packed >> 32, packed & 0xFFFFFFFF)
+                cur[ret] = targets[inverse]
+                view.refresh()  # resolution may have lowered new rows
+                leaf = leaf.copy()
+                leaf[np.where(leaf)[0][returning]] = False
         if leaf.any():
             lanes_ = active[leaf]
             out_index[lanes_] = view.payload[cur[lanes_]]
@@ -309,6 +400,7 @@ def _run_lanes(table, view, rng, width, out_index, out_bits, max_steps, tied):
             lanes_ = active[fail]
             if tied:
                 cur[lanes_] = root
+                depth[lanes_] = 0
             else:
                 out_index[lanes_] = -1
                 out_bits[lanes_] = used[lanes_]

@@ -18,10 +18,13 @@ vectorized batch over numpy arrays.
 unbounded (e.g. the geometric counter), so a loop entry at state ``s``
 is first emitted as an ``OP_STUB`` and expanded on first visit
 (:meth:`NodeTable.expand`).  Expansions are memoized per
-``(fix identity, continuation, state)``, so finite loop-state spaces
-close up into back-edges (the rejection loops of ``uniform_tree`` become
-a single back jump) and unbounded ones grow the table once per *distinct*
-state, amortized across all samples.  ``Fail`` leaves compile to a single
+``(fix token, continuation token, state)``, where tokens are *content
+keys* when the loop carries one (:mod:`repro.cftree.keys`) and pinned
+identities otherwise: finite loop-state spaces close up into back-edges
+(the rejection loops of ``uniform_tree`` become a single back jump) and
+unbounded ones grow the table once per *distinct* state -- across all
+samples *and* across the distinct closure objects produced by
+re-compiling the same loop body.  ``Fail`` leaves compile to a single
 ``OP_FAIL`` node; the tied driver treats it as "restart at the root",
 which is exactly ``tie_itree``'s rejection semantics.
 
@@ -33,18 +36,22 @@ the left subtree (the paper's "heads").
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cftree.tree import CFTree, Choice, Fail, Fix, Leaf
+from repro.lang.state import State
 
 # Node opcodes.  OP_BIT consumes one fair bit and branches; OP_LEAF
-# produces payload ``payload[i]``; OP_FAIL is observation failure;
-# OP_JMP is an unconditional hop (left behind by stub expansion);
-# OP_STUB is an unexpanded loop entry.
+# produces payload ``payload[i]`` (or, when the driver's call stack is
+# non-empty, returns from the innermost OP_CALL); OP_FAIL is
+# observation failure; OP_JMP is an unconditional hop (left behind by
+# stub expansion); OP_STUB is an unexpanded loop entry; OP_CALL pushes
+# call record ``payload[i]`` and enters the loop subroutine at ``a[i]``.
 OP_BIT = 0
 OP_LEAF = 1
 OP_FAIL = 2
 OP_JMP = 3
 OP_STUB = 4
+OP_CALL = 5
 
-OP_NAMES = ("BIT", "LEAF", "FAIL", "JMP", "STUB")
+OP_NAMES = ("BIT", "LEAF", "FAIL", "JMP", "STUB", "CALL")
 
 
 class LoweringError(ValueError):
@@ -66,22 +73,105 @@ class _Halt:
 
 _HALT = _Halt()
 
+#: Content token of the terminal continuation.
+_HALT_TOKEN = "H"
+
+
+def _fix_token(fix: Fix):
+    """The interning token of a loop: its content key when it has one
+    (identical loops share rows across closure objects), else an
+    identity fallback.
+
+    Identity tokens are only safe because every memo *value* that embeds
+    one keeps the ``fix`` object itself alive (the PR 4 keepalive trick):
+    a pinned object's id cannot be recycled.
+    """
+    key = fix.key
+    return key if key is not None else ("@", id(fix))
+
+
+def _k_token(k):
+    """The content token of a continuation (``_HALT`` or a ``_LoopK``)."""
+    return _HALT_TOKEN if k is _HALT else k.token
+
 
 class _LoopK:
     """The in-loop continuation: a leaf value is the next loop state.
 
-    Interned per ``(fix identity, outer continuation)`` so that memo keys
-    built from continuations compare by identity.
+    ``token`` is the continuation's content token, derived structurally
+    from the loop's token and the outer continuation's token -- two
+    ``_LoopK`` chains with equal tokens behave identically, so memo keys
+    built from tokens share rows across distinct closure objects.
+    Interned per token in ``NodeTable._loopk_intern``.
     """
 
-    __slots__ = ("fix", "outer")
+    __slots__ = ("fix", "outer", "token")
 
     def __init__(self, fix: Fix, outer):
         self.fix = fix
         self.outer = outer
+        self.token = ("K", _fix_token(fix), _k_token(outer))
 
     def __repr__(self):
         return "LoopK(%r)" % (self.fix,)
+
+
+class _CallRecord:
+    """The dynamic side of an ``OP_CALL`` row.
+
+    ``fix``/``k`` are the loop and outer continuation at the original
+    entry; ``frame`` holds the state bindings *outside* the loop's
+    footprint (untouched by the subroutine); ``returns`` maps a sub-exit
+    payload index to the row continuing ``fix.cont(frame ∪ exit)`` under
+    ``k``, resolved lazily on first return and memoized.
+
+    A record thawed from disk starts with ``fix``/``k`` as ``None`` and
+    carries their content tokens instead; the objects are rebound on the
+    first return that misses ``returns`` (see ``NodeTable._resolve_fix``).
+    """
+
+    __slots__ = ("fix", "k", "frame", "returns", "fix_token", "k_token")
+
+    def __init__(self, fix: Optional[Fix], k, frame: Dict[str, object],
+                 fix_token=None, k_token=None):
+        self.fix = fix
+        self.k = k
+        self.frame = frame
+        self.returns: Dict[int, int] = {}
+        self.fix_token = fix_token if fix_token is not None else (
+            _fix_token(fix) if fix is not None else None
+        )
+        self.k_token = k_token if k_token is not None else (
+            _k_token(k) if k is not None else None
+        )
+
+
+class _FrozenPending:
+    """A pending stub restored from disk: content tokens instead of the
+    live ``(fix, k, state)`` objects, rebound on first expansion."""
+
+    __slots__ = ("fix_token", "k_token", "state")
+
+    def __init__(self, fix_token, k_token, state):
+        self.fix_token = fix_token
+        self.k_token = k_token
+        self.state = state
+
+
+def _iter_fixes(tree: CFTree):
+    """The ``Fix`` nodes of a tree's finite spine (no closure forcing)."""
+    stack = [tree]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, Fix):
+            yield node
+        elif isinstance(node, Choice):
+            stack.append(node.left)
+            stack.append(node.right)
 
 
 class NodeTable:
@@ -110,11 +200,41 @@ class NodeTable:
         self.version = 0
         self._fail_node = -1
         self._payload_index: Dict[object, int] = {}
-        self._lower_memo: Dict[Tuple[int, int], Tuple[CFTree, int]] = {}
-        self._enter_memo: Dict[Tuple[int, int, object], Tuple[Fix, int]] = {}
-        self._loopk_intern: Dict[Tuple[int, int], _LoopK] = {}
+        # Memo keys are *content tokens* wherever content keys exist
+        # (see repro.cftree.keys); identity fallbacks are pinned by the
+        # memo values, which hold the tree/fix/continuation objects --
+        # an id in a key always has its object kept alive in the value,
+        # so a recycled address can never alias a live entry.
+        self._lower_memo: Dict[tuple, Tuple[CFTree, object, int]] = {}
+        self._enter_memo: Dict[tuple, Tuple[Fix, object, object, int]] = {}
+        self._loopk_intern: Dict[tuple, _LoopK] = {}
         self._pending: Dict[int, Tuple[Fix, object, object]] = {}
+        # Frame-separated loop calls: the subroutine Fix per machinery
+        # token (value keeps the source fix alive for id tokens), and
+        # one _CallRecord per OP_CALL row (indexed by its payload).
+        self._subfix_intern: Dict[object, Tuple[Fix, Fix]] = {}
+        self.calls: List[_CallRecord] = []
         self._row_intern: Dict[Tuple[int, int, int, int], int] = {}
+        # Content-token -> live Fix object, populated as loops are
+        # entered.  Normally redundant (the memos hold the objects); for
+        # a table thawed from disk it is how frozen pendings and call
+        # records get their closures back (see repro.engine.freeze).
+        self._fix_registry: Dict[object, Fix] = {}
+        # Thawed-table rebind state: (fix_token, state) pairs harvested
+        # from the frozen memo, pendings, and call returns, used to
+        # rematerialize nested loops by scanning parent body/cont trees.
+        # _rebind_scan lazily buckets them per token; consumed states
+        # are popped so no pair is compiled twice.
+        self._frozen_enters: List[Tuple[object, object]] = []
+        self._rebind_queue: Optional[Dict[object, List[object]]] = None
+        # Unkeyed wrappers cannot be addressed by token, so their frozen
+        # entry states arrive anonymously (_orphan_states) and are tried
+        # against every live unkeyed Fix the scan has seen (_scan_unkeyed,
+        # seeded from the root tree's spine by thaw_bind).
+        self._orphan_states: List[object] = []
+        self._scan_unkeyed: List[Fix] = []
+        self._orphan_scanned: set = set()
+        self.needs_rebind = False
         self.expansions = 0
         self.dedup_hits = 0
         self.compacted_rows = 0
@@ -178,11 +298,11 @@ class NodeTable:
         return self._fail_node
 
     def _loopk(self, fix: Fix, outer) -> _LoopK:
-        key = (id(fix), id(outer))
-        k = self._loopk_intern.get(key)
-        if k is None:
-            k = _LoopK(fix, outer)
-            self._loopk_intern[key] = k
+        k = _LoopK(fix, outer)
+        hit = self._loopk_intern.get(k.token)
+        if hit is not None:
+            return hit
+        self._loopk_intern[k.token] = k
         return k
 
     def _apply_k(self, k, value) -> int:
@@ -191,10 +311,13 @@ class NodeTable:
         return self._enter(k.fix, k.outer, value)
 
     def _lower(self, tree: CFTree, k) -> int:
-        memo_key = (id(tree), id(k))
+        # Trees are hash-consed by the cse pass, so id(tree) is a
+        # structural key in practice; the continuation side uses content
+        # tokens so equal _LoopK chains share lowerings.
+        memo_key = (id(tree), _k_token(k))
         hit = self._lower_memo.get(memo_key)
         if hit is not None:
-            return hit[1]
+            return hit[2]
         if isinstance(tree, Leaf):
             index = self._apply_k(k, tree.value)
         elif isinstance(tree, Fail):
@@ -215,14 +338,19 @@ class NodeTable:
             index = self._enter(tree, k, tree.init)
         else:
             raise LoweringError("not a CF tree: %r" % (tree,))
-        # Keep the tree alive alongside its id so the key can't be
-        # recycled by the allocator (same trick as cftree.cache).
-        self._lower_memo[memo_key] = (tree, index)
+        # Keep the tree AND the continuation alive alongside the key so
+        # neither id can be recycled by the allocator (same trick as
+        # cftree.cache; the seed kept only the tree, which left id(k)
+        # recyclable -- the engine-side id-reuse hazard of PR 4).
+        self._lower_memo[memo_key] = (tree, k, index)
         return index
 
     def _enter(self, fix: Fix, k, state) -> int:
+        fkey = fix.key
+        if fkey is not None and fkey not in self._fix_registry:
+            self._fix_registry[fkey] = fix
         try:
-            key = (id(fix), id(k), state)
+            key = (_fix_token(fix), _k_token(k), state)
             hit = self._enter_memo.get(key)
         except TypeError:
             # Unhashable loop state: no memoization, so loops over such
@@ -230,12 +358,222 @@ class NodeTable:
             key = None
             hit = None
         if hit is not None:
-            return hit[1]
+            return hit[3]
+        footprint = fix.footprint
+        if footprint is not None and isinstance(state, State):
+            frame = {
+                name: value
+                for name, value in state.items()
+                if name not in footprint
+            }
+            if frame:
+                index = self._call(fix, k, state, frame, footprint)
+                if key is not None:
+                    self._enter_memo[key] = (fix, k, state, index)
+                return index
         index = self._alloc(OP_STUB)
         self._pending[index] = (fix, k, state)
         if key is not None:
-            self._enter_memo[key] = (fix, index)
+            self._enter_memo[key] = (fix, k, state, index)
         return index
+
+    def _call(self, fix: Fix, k, state, frame, footprint) -> int:
+        """Allocate a frame-separated loop call.
+
+        The loop's guard and body only touch ``footprint`` variables, so
+        the loop from ``state`` equals the loop run on the footprint
+        projection with the untouched ``frame`` spliced back in at exit.
+        The projection entry is shared across *every* frame (keyed by
+        machinery subkey + foot state), which is the main state-space
+        win: without it, each frame multiplies the loop's whole internal
+        state churn into fresh rows.  Calls and returns consume no bits,
+        so samples stay bit-for-bit identical to the inline expansion.
+        """
+        sub = self._subfix(fix)
+        # state.items() is already sorted/normalized, so the projection
+        # can take the trusted-constructor fast path.
+        foot = State._from_sorted(
+            tuple(
+                (name, value)
+                for name, value in state.items()
+                if name in footprint
+            )
+        )
+        sub_entry = self._enter(sub, _HALT, foot)
+        record = _CallRecord(fix, k, frame)
+        self.calls.append(record)
+        return self._alloc(OP_CALL, a=sub_entry, payload=len(self.calls) - 1)
+
+    def _subfix(self, fix: Fix) -> Fix:
+        """The loop's machinery as a standalone subroutine: same guard
+        and body, ``Leaf`` continuation (exit states become sub leaves).
+        Interned per subkey so distinct wrappers of one loop -- and
+        distinct compiles of one program -- share a single subroutine.
+        """
+        token = fix.subkey if fix.subkey is not None else ("@", id(fix))
+        hit = self._subfix_intern.get(token)
+        if hit is not None:
+            return hit[1]
+        sub = Fix(
+            None,
+            fix.guard,
+            fix.body,
+            Leaf,
+            key=fix.subkey,
+            subkey=fix.subkey,
+            footprint=fix.footprint,
+        )
+        self._subfix_intern[token] = (fix, sub)
+        return sub
+
+    def call_return(self, call_id: int, payload_index: int) -> int:
+        """The row continuing call ``call_id`` after its subroutine
+        exited with payload ``payload_index``; lowered on first use."""
+        record = self.calls[call_id]
+        hit = record.returns.get(payload_index)
+        if hit is not None:
+            return hit
+        if record.fix is None:  # thawed from disk: rebind lazily
+            record.fix = self._resolve_fix(record.fix_token)
+            record.k = self._resolve_k(record.k_token)
+        merged = self.payloads[payload_index].update(record.frame)
+        index = self._thread(self._lower(record.fix.cont(merged), record.k))
+        record.returns[payload_index] = index
+        return index
+
+    # -- thawed-table rebinding ------------------------------------------
+
+    def _register_fix(self, fix: Fix) -> None:
+        if fix.key is not None and fix.key not in self._fix_registry:
+            self._fix_registry[fix.key] = fix
+
+    def _harvest_fix(self, fix: Fix) -> None:
+        """Register a fix found during rebinding; unkeyed ones are kept
+        as scan roots for the orphan-state sweep."""
+        if fix.key is not None:
+            self._register_fix(fix)
+        elif not any(f is fix for f in self._scan_unkeyed):
+            self._scan_unkeyed.append(fix)
+
+    def _resolve_fix(self, token) -> Fix:
+        """The live ``Fix`` for a content token, rematerializing nested
+        loops from parent body trees when necessary (thawed tables)."""
+        hit = self._fix_registry.get(token)
+        if hit is not None:
+            return hit
+        hit = self._subfix_intern.get(token)
+        if hit is not None:
+            return hit[1]
+        # A machinery subkey of an already-registered loop: build the
+        # subroutine fix the same way _call would.
+        for fix in list(self._fix_registry.values()):
+            if fix.subkey == token:
+                return self._subfix(fix)
+        self._rebind_scan(token)
+        hit = self._fix_registry.get(token)
+        if hit is not None:
+            return hit
+        hit = self._subfix_intern.get(token)
+        if hit is not None:
+            return hit[1]
+        raise LoweringError(
+            "thawed table could not rebind loop token %r; recompile "
+            "without the disk cache" % (token,)
+        )
+
+    def _resolve_k(self, token):
+        """Rebuild a continuation object from its content token."""
+        if token == _HALT_TOKEN:
+            return _HALT
+        if isinstance(token, tuple) and len(token) == 3 and token[0] == "K":
+            return self._loopk(
+                self._resolve_fix(token[1]), self._resolve_k(token[2])
+            )
+        raise LoweringError(
+            "thawed table could not rebind continuation token %r" % (token,)
+        )
+
+    def _rebind_scan(self, wanted) -> None:
+        """Recover nested loop objects by scanning body/cont trees.
+
+        Content keys make any rematerialization with the same token
+        behaviorally interchangeable, so a nested loop lost in the
+        freeze/thaw round-trip can be rebuilt by compiling the body (or
+        exit continuation) of any *registered* loop at any frozen entry
+        state and harvesting the ``Fix`` nodes of the resulting (finite)
+        tree.  States are consumed round-robin across tokens -- one per
+        token per sweep -- because distinct states take distinct ``Ite``
+        branches: diverse coverage finds ``wanted`` long before an
+        exhaustive walk of any one loop's state list would.  Iterates to
+        a fixed point or until ``wanted`` shows up.
+        """
+        if self._rebind_queue is None:
+            queue: Dict[object, List[object]] = {}
+            for token, state in self._frozen_enters:
+                queue.setdefault(token, []).append(state)
+            self._rebind_queue = queue
+        queue = self._rebind_queue
+        progress = True
+        while progress and wanted not in self._fix_registry:
+            progress = False
+            for token, states in queue.items():
+                if not states:
+                    continue
+                fix = self._fix_registry.get(token)
+                if fix is None:
+                    entry = self._subfix_intern.get(token)
+                    fix = entry[1] if entry is not None else None
+                if fix is None:
+                    for owner in list(self._fix_registry.values()):
+                        if owner.subkey == token:
+                            fix = self._subfix(owner)
+                            break
+                if fix is None:
+                    continue
+                state = states.pop()
+                progress = True
+                if self._scan_tree(fix, state, wanted):
+                    return
+            # Unkeyed wrappers (key None) have no queue bucket: try every
+            # orphan state against every live unkeyed fix.  Wrapper state
+            # spaces are sentinel-sized and wrong pairings fail fast in
+            # guard evaluation, so this cross product stays cheap.
+            for fix in list(self._scan_unkeyed):
+                for state in self._orphan_states:
+                    try:
+                        pair = (id(fix), state)
+                        if pair in self._orphan_scanned:
+                            continue
+                        self._orphan_scanned.add(pair)
+                    except TypeError:
+                        continue
+                    progress = True
+                    if self._scan_tree(fix, state, wanted):
+                        return
+
+    def _scan_tree(self, fix: Fix, state, wanted) -> bool:
+        """Compile one body/cont tree and harvest its spine fixes;
+        True when ``wanted`` became registered."""
+        try:
+            tree = fix.body(state) if fix.guard(state) else fix.cont(state)
+        except Exception:
+            return False  # state outside this body's domain: skip
+        for found in _iter_fixes(tree):
+            self._harvest_fix(found)
+        return wanted in self._fix_registry
+
+    def _thread(self, target: int) -> int:
+        """Follow JMP chains without expanding stubs; cycle-safe."""
+        seen = None
+        while self.op[target] == OP_JMP:
+            if seen is None:
+                seen = {target}
+            nxt = self.a[target]
+            if nxt in seen:
+                break
+            seen.add(nxt)
+            target = nxt
+        return target
 
     # -- JIT expansion ---------------------------------------------------
 
@@ -248,7 +586,13 @@ class NodeTable:
         """
         if self.op[index] != OP_STUB:
             return
-        fix, k, state = self._pending.pop(index)
+        entry = self._pending.pop(index)
+        if type(entry) is _FrozenPending:
+            fix = self._resolve_fix(entry.fix_token)
+            k = self._resolve_k(entry.k_token)
+            state = entry.state
+        else:
+            fix, k, state = entry
         if fix.guard(state):
             target = self._lower(fix.body(state), self._loopk(fix, k))
         else:
@@ -280,6 +624,24 @@ class NodeTable:
             self.expand(next(iter(self._pending)))
             done += 1
         return True
+
+    def thaw_bind(self, tree: CFTree) -> None:
+        """Re-attach live closures to a table thawed from disk.
+
+        Lowers the freshly compiled ``tree`` against the restored
+        content-keyed memos: loop entries hit the frozen memo rows
+        (registering their ``Fix`` objects on the way), and deduplicated
+        allocation folds the spine onto the existing rows, so the pass
+        costs one tree walk, not a re-expansion.  The root is re-pointed
+        at the result, which makes the call safe even if the fresh
+        compile differs from the frozen one (the stale rows just become
+        garbage for the next compaction).
+        """
+        for fix in _iter_fixes(tree):
+            self._harvest_fix(fix)
+        self.root = self._lower(tree, _HALT)
+        self.needs_rebind = False
+        self.version += 1
 
     def resolve(self, index: int) -> int:
         """Follow jumps (expanding stubs on the way) to a concrete node."""
@@ -385,16 +747,19 @@ class NodeTable:
                     changed = True
 
         # Closed tables never expand again: the memos are dead weight
-        # and must not pin garbage rows.
-        if not self._pending:
+        # and must not pin garbage rows.  A table with call rows is
+        # never closed in this sense -- fresh sub-exit states lower new
+        # return continuations lazily, and those lowerings must keep
+        # hitting the memos or back-edges would reopen.
+        if not self._pending and not self.calls:
             self._lower_memo.clear()
             self._enter_memo.clear()
             self._loopk_intern.clear()
 
         roots = [canon(self.root)]
         roots.extend(canon(i) for i in self._pending)
-        roots.extend(canon(entry[1]) for entry in self._lower_memo.values())
-        roots.extend(canon(entry[1]) for entry in self._enter_memo.values())
+        roots.extend(canon(entry[2]) for entry in self._lower_memo.values())
+        roots.extend(canon(entry[3]) for entry in self._enter_memo.values())
 
         live: List[int] = []
         marked = set()
@@ -411,6 +776,10 @@ class NodeTable:
                 stack.append(canon(b[i]))
             elif o == OP_JMP:  # surviving jump-cycle member
                 stack.append(canon(a[i]))
+            elif o == OP_CALL:
+                stack.append(canon(a[i]))  # the subroutine entry
+                for target in self.calls[payload[i]].returns.values():
+                    stack.append(canon(target))
         live.sort()
         remap = {old: new for new, old in enumerate(live)}
 
@@ -419,10 +788,21 @@ class NodeTable:
 
         new_op = [op[i] for i in live]
         new_a = [
-            renumber(a[i]) if op[i] in (OP_BIT, OP_JMP) else -1 for i in live
+            renumber(a[i]) if op[i] in (OP_BIT, OP_JMP, OP_CALL) else -1
+            for i in live
         ]
         new_b = [renumber(b[i]) if op[i] == OP_BIT else -1 for i in live]
-        new_payload = [payload[i] if op[i] == OP_LEAF else -1 for i in live]
+        new_payload = [
+            payload[i] if op[i] in (OP_LEAF, OP_CALL) else -1 for i in live
+        ]
+        # Call records of live rows carry row numbers too; records of
+        # dropped rows are never consulted again and stay stale.
+        for i in live:
+            if op[i] == OP_CALL:
+                record = self.calls[payload[i]]
+                record.returns = {
+                    p: renumber(t) for p, t in record.returns.items()
+                }
 
         new_root = renumber(self.root)
         new_fail = -1
@@ -433,11 +813,11 @@ class NodeTable:
             renumber(i): entry for i, entry in self._pending.items()
         }
         new_lower_memo = {
-            key: (entry[0], renumber(entry[1]))
+            key: (entry[0], entry[1], renumber(entry[2]))
             for key, entry in self._lower_memo.items()
         }
         new_enter_memo = {
-            key: (entry[0], renumber(entry[1]))
+            key: (entry[0], entry[1], entry[2], renumber(entry[3]))
             for key, entry in self._enter_memo.items()
         }
         self.op, self.a, self.b, self.payload = new_op, new_a, new_b, new_payload
@@ -480,6 +860,7 @@ class NodeTable:
             "fail": counts[OP_FAIL],
             "jmp": counts[OP_JMP],
             "stub": counts[OP_STUB],
+            "call": counts[OP_CALL],
             "dedup_hits": self.dedup_hits,
             "compacted_rows": self.compacted_rows,
         }

@@ -65,6 +65,21 @@ class State:
         """The state binding nothing (every variable reads as 0)."""
         return _EMPTY
 
+    @classmethod
+    def _from_sorted(cls, items: Tuple[Tuple[str, Value], ...]) -> "State":
+        """Trusted constructor: ``items`` must already be sorted,
+        normalized, and free of default (int 0) bindings -- the
+        invariants ``_items`` itself carries.  Lets ``set``/``update``
+        and the engine's footprint splitter skip re-validating and
+        re-sorting bindings that came out of an existing state."""
+        self = object.__new__(cls)
+        self._items = items
+        self._key = tuple(
+            (name, value.__class__ is bool, value) for name, value in items
+        )
+        self._hash = hash(self._key)
+        return self
+
     def get(self, name: str, strict: bool = False) -> Value:
         """Read variable ``name``; unbound variables read as 0.
 
@@ -82,15 +97,43 @@ class State:
         """Return a new state with ``name`` bound to ``value``."""
         if not is_value(value):
             raise TypeError("illegal value %r for variable %s" % (value, name))
-        new = dict(self._items)
-        new[name] = value
-        return State(new)
+        value = normalize(value)
+        items = self._items
+        if _is_default(value):
+            for i, (key, _) in enumerate(items):
+                if key == name:
+                    return State._from_sorted(items[:i] + items[i + 1 :])
+            return self
+        entry = (name, value)
+        for i, (key, old) in enumerate(items):
+            if key == name:
+                if old.__class__ is value.__class__ and old == value:
+                    return self
+                return State._from_sorted(items[:i] + (entry,) + items[i + 1 :])
+            if key > name:
+                return State._from_sorted(items[:i] + (entry,) + items[i:])
+        return State._from_sorted(items + (entry,))
 
     def update(self, mapping: Dict[str, Value]) -> "State":
         """Return a new state with all bindings in ``mapping`` applied."""
+        if not mapping:
+            return self
         new = dict(self._items)
-        new.update(mapping)
-        return State(new)
+        for name, value in mapping.items():
+            if not isinstance(name, str):
+                raise TypeError(
+                    "variable names must be strings: %r" % (name,)
+                )
+            if not is_value(value):
+                raise TypeError(
+                    "illegal value %r for variable %s" % (value, name)
+                )
+            value = normalize(value)
+            if _is_default(value):
+                new.pop(name, None)
+            else:
+                new[name] = value
+        return State._from_sorted(tuple(sorted(new.items())))
 
     def bound(self) -> Tuple[str, ...]:
         """Names bound to a non-default value, sorted."""

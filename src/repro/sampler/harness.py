@@ -61,6 +61,7 @@ def run_row(
     sigma: Optional[State] = None,
     numeric: Callable[[object], float] = float,
     engine: str = "auto",
+    narrow: bool = False,
 ) -> Row:
     """Sample ``command`` and produce one evaluation-table row.
 
@@ -71,6 +72,12 @@ def run_row(
     ``engine`` selects the sampling path: ``"auto"`` (batch engine,
     trampoline fallback), ``"batch"`` (engine, error on failure), or
     ``"trampoline"`` (the per-sample reference driver).
+
+    ``narrow=True`` opts into liveness-driven loop-state narrowing
+    (:func:`repro.compiler.liveness.narrow_command`); ``variable`` is
+    kept live automatically.  Worthwhile for scratch-heavy loop bodies
+    (Figure 13's discrete Gaussian, Figure 9b's race), where dead
+    temporaries otherwise multiply the open table's state space.
     """
     from repro.engine.api import collect_auto
 
@@ -82,6 +89,8 @@ def run_row(
         seed=seed,
         extract=lambda s: s[variable],
         engine=engine,
+        narrow=narrow,
+        observed=(variable,),
     )
     return row_from_samples(result.samples, param, true_pmf, numeric)
 

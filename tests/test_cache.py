@@ -32,6 +32,20 @@ class TestBoundedCache:
         assert cache.get("c") == 3
         assert len(cache) == 2
 
+    def test_lru_hit_refreshes_recency(self):
+        # Eviction is least-recently-USED: a hot entry that keeps
+        # hitting must survive capacity pressure even if it is the
+        # oldest insertion (the expansion working set recurs every
+        # sample, so FIFO would evict exactly the hot rows).
+        cache = BoundedCache(2)
+        cache.put("hot", (), 1)
+        cache.put("b", (), 2)
+        assert cache.get("hot") == 1  # refresh: "b" is now oldest
+        cache.put("c", (), 3)  # evicts "b", not "hot"
+        assert cache.get("hot") == 1
+        assert cache.get("b") is None
+        assert cache.get("c") == 3
+
     def test_clear(self):
         cache = BoundedCache(4)
         cache.put("a", (), 1)

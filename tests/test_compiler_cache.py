@@ -159,14 +159,23 @@ class TestDiskCache:
 
         assert stream(loaded) == stream(built)
 
-    def test_open_tables_stay_memory_only(self, tmp_path):
+    def test_open_tables_spill_to_disk(self, tmp_path):
+        # Since the freeze/thaw layer (repro.engine.freeze), open tables
+        # -- pending stubs and all -- spill as content-digest triples
+        # and rehydrate in a fresh process.
         from repro.lang.sugar import geometric_primes
 
         pipeline, cache = self._pipeline(tmp_path, eager_expand=16)
         program = pipeline.compile(geometric_primes(Fraction(1, 2)))
         assert program.table.pending_stubs > 0
-        assert cache.stats()["disk_stores"] == 0
-        assert list(tmp_path.iterdir()) == []
+        assert cache.stats()["disk_stores"] == 1
+        assert list(tmp_path.iterdir()) != []
+
+        fresh, fresh_cache = self._pipeline(tmp_path, eager_expand=16)
+        loaded = fresh.compile(geometric_primes(Fraction(1, 2)))
+        assert loaded.source == "disk"
+        assert not loaded.table.needs_rebind  # pipeline ran thaw_bind
+        assert loaded.table.pending_stubs == program.table.pending_stubs
 
     def test_corrupt_file_is_a_miss(self, tmp_path):
         command = n_sided_die(6)
@@ -204,10 +213,12 @@ class TestBoundedCacheConfig:
         monkeypatch.setenv("ZAR_CFTREE_CACHE_SIZE", "1234")
         assert default_capacity() == 1234
         assert BoundedCache().capacity == 1234
+        from repro.cftree.cache import _DEFAULT_CAPACITY
+
         monkeypatch.setenv("ZAR_CFTREE_CACHE_SIZE", "-3")
-        assert default_capacity() == 200_000
+        assert default_capacity() == _DEFAULT_CAPACITY
         monkeypatch.delenv("ZAR_CFTREE_CACHE_SIZE")
-        assert default_capacity() == 200_000
+        assert default_capacity() == _DEFAULT_CAPACITY
 
     def test_resize_evicts_oldest(self):
         cache = BoundedCache(4)

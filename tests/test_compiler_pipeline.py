@@ -363,6 +363,38 @@ class TestStructuralCompileCache:
             interner.intern(State(x=1))
         assert len(interner._by_id) <= 64
 
+    def test_interner_overflow_keeps_recent_canonicals(self):
+        # Overflow drops the *oldest half* instead of clearing: a full
+        # clear would change the identity of every canonical object at
+        # once and cold-start each downstream id-keyed memo.
+        from repro.compiler.normalize import Interner
+
+        interner = Interner(capacity=8)
+        recent = [State(x=i) for i in range(4, 8)]
+        for i in range(8):
+            interner.intern(State(x=i))
+        interner.intern(State(x=99))  # triggers the half-drop
+        for state in recent:
+            canonical = interner.intern(State(x=state["x"]))
+            # Recent canonicals kept their identity across the drop.
+            assert canonical is interner.intern(State(x=state["x"]))
+        assert len(interner._canon) <= 8
+
+    def test_interner_identity_stable_for_live_canonicals(self):
+        # The id-recycling regression: after heavy churn, an object the
+        # caller still holds must keep interning to ITSELF -- if the
+        # table dropped it while a dead object's id got recycled into
+        # the fast path, a live key could alias a stale canonical.
+        from repro.compiler.normalize import Interner
+
+        interner = Interner(capacity=32)
+        keeper = interner.intern(State(x=-1))
+        for i in range(200):
+            interner.intern(State(x=i))  # churn through several drops
+        again = interner.intern(State(x=-1))
+        assert again == keeper
+        assert interner.intern(keeper) is interner.intern(keeper)
+
 
 class TestCompiledProgram:
     def test_stats_shape(self):
