@@ -1,0 +1,97 @@
+"""Certified-bounds benchmark: fixpoint iterations-to-width and latency.
+
+For every certified-oracle registry entry (tests/oracle.py) this
+recomputes the bounds from scratch -- no committed-cache shortcut -- and
+records how hard the fixpoint engine had to work: sweeps, stations,
+memoized transitions, final slack, achieved marginal width, and wall
+time.  The acceptance gates ride along:
+
+- ``hare_tortoise`` (gap-form Fig. 9) and ``fig1b`` must certify their
+  marginals to width <= 2^-20;
+- every recomputed digest must match the live registry definition (the
+  committed ``tests/oracle_cache`` JSONs are in sync with the code).
+
+The raw-race entry ``ex_hare_tortoise`` never revisits a loop state, so
+a fresh certification takes minutes; it is reported from its committed
+cache entry instead (marked ``"recomputed": false``).
+
+Writes ``benchmarks/results/BENCH_bounds.json`` (uploaded by CI next to
+``BENCH_engine.json`` / ``BENCH_compiler.json`` / ``BENCH_analysis.json``).
+"""
+
+import os
+import sys
+import time
+from fractions import Fraction
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)  # `benchmarks` package when run as a script
+sys.path.insert(0, os.path.join(_ROOT, "tests"))
+
+import oracle  # noqa: E402  (tests/oracle.py, needs the path insert)
+
+from benchmarks._common import write_json_result  # noqa: E402
+
+#: Entries whose fresh certification is too slow for a smoke benchmark.
+REPORT_FROM_CACHE = frozenset({"ex_hare_tortoise"})
+
+WIDTH_GATE_BITS = 20
+WIDTH_GATED = ("hare_tortoise", "fig1b")
+
+
+def _entry_record(name: str) -> dict:
+    entry = oracle.REGISTRY[name]
+    if name in REPORT_FROM_CACHE:
+        bounds = oracle.certified(name)
+        elapsed = None
+    else:
+        t0 = time.perf_counter()
+        bounds = oracle._compute(entry)
+        elapsed = time.perf_counter() - t0
+    assert bounds.digest == entry.digest(), name
+    stats = dict(bounds.stats)
+    record = {
+        "recomputed": name not in REPORT_FROM_CACHE,
+        "width_bits": entry.width_bits,
+        "slack": float(bounds.slack),
+        "max_marginal_width": max(
+            float(bounds.max_width(projection))
+            for projection in entry.projections
+        ),
+        "sweeps": stats.get("sweeps"),
+        "stations": stats.get("stations"),
+        "converged": stats.get("converged"),
+        "escape_bound": stats.get("escape_bound"),
+        "predicted_sweeps": stats.get("predicted_sweeps"),
+    }
+    if elapsed is not None:
+        record["wall_seconds"] = round(elapsed, 3)
+    return record
+
+
+def main() -> None:
+    records = {name: _entry_record(name) for name in sorted(oracle.REGISTRY)}
+
+    gate = Fraction(1, 1 << WIDTH_GATE_BITS)
+    for name in WIDTH_GATED:
+        achieved = records[name]["max_marginal_width"]
+        assert achieved <= float(gate), (
+            "%s certified only to width %.3g > 2^-%d"
+            % (name, achieved, WIDTH_GATE_BITS)
+        )
+
+    total = sum(
+        record.get("wall_seconds", 0.0) for record in records.values()
+    )
+    write_json_result(
+        "BENCH_bounds",
+        {
+            "entries": records,
+            "width_gate": "2^-%d on %s" % (WIDTH_GATE_BITS, list(WIDTH_GATED)),
+            "total_recompute_seconds": round(total, 3),
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ from fractions import Fraction
 from typing import Dict, List, Sequence
 
 from repro.bits.source import BitSource
+from repro.cftree.tree import Choice, Fix, Leaf
 
 
 class HanHoshiSampler:
@@ -87,3 +88,45 @@ class HanHoshiSampler:
         # Remaining mass terminates deeper; bound crudely.
         remaining = sum(float(w) for _low, w in pending)
         return total + remaining * (max_depth + 3)
+
+
+def han_hoshi_tree(probabilities: Sequence[Fraction]) -> Fix:
+    """The interval-refinement walk as a CF tree.
+
+    The loop state is ``(low, depth)`` -- the current dyadic interval is
+    ``[low, low + 2**-depth)`` -- and each iteration flips a fair coin to
+    descend into one half, exactly mirroring :meth:`HanHoshiSampler.
+    sample`.  Terminal leaves carry ``(outcome, bits)``: the emitted
+    outcome index and the number of bits the walk consumed.
+
+    This makes the baseline sampler certifiable by the fixpoint engine
+    (:mod:`repro.inference.fixpoint`): every refinement step lands in an
+    outcome interval with probability at least 1/2 unless it straddles a
+    boundary, so unresolved mass halves (at worst) per sweep and both
+    the outcome pmf and the bit-cost pmf get certified interval bounds
+    -- the oracle the statistical tier checks empirical bit counts
+    against, replacing the old hand-tuned ``expected_bits`` tolerance.
+    """
+    sampler = HanHoshiSampler(probabilities)
+
+    def width(depth: int) -> Fraction:
+        return Fraction(1, 1 << depth)
+
+    def guard(state) -> bool:
+        low, depth = state
+        return sampler._locate(low, low + width(depth)) is None
+
+    def body(state):
+        low, depth = state
+        half = width(depth + 1)
+        return Choice(
+            Fraction(1, 2),
+            Leaf((low, depth + 1)),
+            Leaf((low + half, depth + 1)),
+        )
+
+    def cont(state):
+        low, depth = state
+        return Leaf((sampler._locate(low, low + width(depth)), depth))
+
+    return Fix((Fraction(0), 0), guard, body, cont)

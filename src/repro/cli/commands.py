@@ -16,7 +16,7 @@ from repro.cftree.compile import compile_cpgcl
 from repro.cftree.debias import debias
 from repro.cftree.elim import elim_choices
 from repro.cftree.viz import render_cftree
-from repro.inference import infer_posterior
+from repro.inference import fixpoint_posterior, infer_posterior
 from repro.lang.errors import CpGCLError
 from repro.lang.parser import parse_program, parse_program_located
 from repro.lang.pretty import pretty
@@ -315,6 +315,115 @@ def cmd_infer(args, out: TextIO) -> int:
             bounds = posterior.probability(state)
             print("P(%s) in [%.6g, %.6g]" % (state, bounds.lo, bounds.hi),
                   file=out)
+    return 0
+
+
+def cmd_bounds(args, out: TextIO) -> int:
+    import json
+
+    program = load_program(args.file)
+    sigma = parse_initial_state(args.init)
+    if args.width_bits <= 0:
+        raise CliError("--width-bits must be positive")
+    observed = None
+    if args.observed:
+        observed = tuple(
+            name.strip() for name in args.observed.split(",") if name.strip()
+        )
+    posterior = fixpoint_posterior(
+        program,
+        sigma,
+        width=Fraction(1, 2 ** args.width_bits),
+        max_sweeps=args.max_sweeps,
+        observed=observed,
+    )
+    stats = posterior.stats
+
+    def marginal_rows():
+        if args.var is None:
+            return None
+        marginal = posterior.marginal(args.var)
+        try:
+            ordered = sorted(marginal)
+        except TypeError:  # mixed-type support: fall back to repr order
+            ordered = sorted(marginal, key=repr)
+        return [(value, marginal[value]) for value in ordered]
+
+    if args.format == "json":
+        payload = {
+            "file": args.file,
+            "width_bits": args.width_bits,
+            "partial": posterior.partial,
+            "partial_reason": posterior.partial_reason,
+            "stats": stats.as_dict(),
+            "predicted_sweeps": stats.predicted_sweeps(
+                Fraction(1, 2 ** args.width_bits)
+            ),
+        }
+        rows = marginal_rows()
+        if rows is not None:
+            payload["marginal"] = {
+                "var": args.var,
+                "pmf": [
+                    {
+                        "value": repr(value),
+                        "lo": str(bounds.lo),
+                        "hi": str(bounds.hi),
+                    }
+                    for value, bounds in rows
+                ],
+            }
+        else:
+            payload["states"] = [
+                {
+                    "state": repr(state),
+                    "lo": str(posterior.probability(state).lo),
+                    "hi": str(posterior.probability(state).hi),
+                }
+                for state in posterior.states()[: args.top]
+            ]
+        json.dump(payload, out, indent=2)
+        print(file=out)
+        return 0
+
+    print(
+        "sweeps: %d   stations: %d   slack: %.3g   parked: %.3g"
+        % (
+            stats.sweeps,
+            stats.stations,
+            float(stats.slack),
+            float(stats.parked),
+        ),
+        file=out,
+    )
+    if stats.escape_bound is not None:
+        predicted = stats.predicted_sweeps(Fraction(1, 2 ** args.width_bits))
+        print(
+            "escape bound: %.3g%s   predicted sweeps to width: %s"
+            % (
+                float(stats.escape_bound),
+                "" if stats.escape_complete else " (incomplete sweep)",
+                "n/a" if predicted is None else predicted,
+            ),
+            file=out,
+        )
+    if posterior.partial:
+        print("PARTIAL: %s" % posterior.partial_reason, file=out)
+    rows = marginal_rows()
+    if rows is not None:
+        for value, bounds in rows:
+            print(
+                "P(%s=%s) in [%.6g, %.6g]  width %.3g"
+                % (args.var, value, bounds.lo, bounds.hi, bounds.width),
+                file=out,
+            )
+    else:
+        for state in posterior.states()[: args.top]:
+            bounds = posterior.probability(state)
+            print(
+                "P(%s) in [%.6g, %.6g]" % (state, bounds.lo, bounds.hi),
+                file=out,
+            )
     return 0
 
 

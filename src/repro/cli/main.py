@@ -7,11 +7,14 @@ The driver exposes the full pipeline on cpGCL source files::
     python -m repro compile examples/programs/primes.gcl --debias --tree
     python -m repro sample  examples/programs/primes.gcl -n 10000 --var h
     python -m repro infer   examples/programs/primes.gcl --var h
+    python -m repro bounds  examples/programs/primes.gcl --var h
     python -m repro mcmc    examples/programs/primes.gcl -n 5000 --var h
 
 ``sample`` runs the verified pipeline (compile, debias, interaction
-tree, random bit model); ``infer`` computes certified posterior bounds;
-``mcmc`` runs the trace-MH extension.
+tree, random bit model); ``infer`` computes certified posterior bounds
+by enumeration; ``bounds`` computes them by CF-DAG fixpoint iteration
+(converges on open loops where enumeration truncates); ``mcmc`` runs
+the trace-MH extension.
 """
 
 import argparse
@@ -20,6 +23,7 @@ from typing import List, Optional, TextIO
 
 from repro.cli.commands import (
     CliError,
+    cmd_bounds,
     cmd_check,
     cmd_compile,
     cmd_infer,
@@ -144,6 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="marginalize onto this variable")
     p_infer.add_argument("--top", type=int, default=10)
     p_infer.set_defaults(run=cmd_infer)
+
+    p_bounds = sub.add_parser(
+        "bounds",
+        help="certified posterior bounds by CF-DAG fixpoint iteration",
+    )
+    add_common(p_bounds)
+    p_bounds.add_argument(
+        "--width-bits", type=int, default=20,
+        help="target slack 2^-BITS (default 20)")
+    p_bounds.add_argument(
+        "--max-sweeps", type=int, default=100_000,
+        help="iteration cap (default 100000)")
+    p_bounds.add_argument(
+        "--observed", default=None,
+        help="comma-separated variables to narrow onto (liveness "
+        "narrowing; posterior is exact over these variables only)")
+    p_bounds.add_argument("--var", default=None,
+                          help="marginalize onto this variable")
+    p_bounds.add_argument("--top", type=int, default=10)
+    p_bounds.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    p_bounds.set_defaults(run=cmd_bounds)
 
     p_mcmc = sub.add_parser(
         "mcmc", help="sample via single-site trace Metropolis-Hastings"

@@ -2,38 +2,52 @@
 
 The paper's Section 6 notes that Zar "currently [does] not support exact
 inference"; this subpackage supplies it on top of the unchanged CF-tree
-IR.  Execution paths of a compiled tree are enumerated best-first with
-exact ``Fraction`` mass bookkeeping, yielding posterior probabilities as
-*sound intervals* that contract to the true posterior for almost-surely
-terminating programs.
+IR, twice over:
+
+- **Path enumeration** (:mod:`repro.inference.paths`): execution paths
+  of a compiled tree, best-first with exact ``Fraction`` mass
+  bookkeeping.  Exact for finite trees; budget-truncated on open loops.
+- **Fixpoint iteration** (:mod:`repro.inference.fixpoint`): mass
+  transfer over the hash-consed CF-DAG's loop stations with memoized
+  one-step transitions and outward-rounded dyadic arithmetic.  Converges
+  geometrically on loops whose states recur, where enumeration stalls.
+
+Both yield posterior probabilities as *sound intervals* that contract to
+the true posterior for almost-surely terminating programs.
 
 Typical use::
 
-    from repro.inference import infer_posterior
+    from repro.inference import fixpoint_posterior
 
-    post = infer_posterior(program, State(), mass_tol=Fraction(1, 10**6))
+    post = fixpoint_posterior(program, State(), width=Fraction(1, 2**20))
     for value, bounds in sorted(post.marginal("h").items()):
         print(value, float(bounds.lo), float(bounds.hi))
 """
 
 from repro.inference.account import MassAccount
+from repro.inference.fixpoint import FixpointEngine, FixpointStats, station_token
 from repro.inference.interval import Interval, divide_bounds
 from repro.inference.paths import enumerate_paths, unfold_fix_once
 from repro.inference.posterior import (
     Posterior,
+    fixpoint_posterior,
     infer_posterior,
     infer_query,
     refine_until,
 )
 
 __all__ = [
+    "FixpointEngine",
+    "FixpointStats",
     "Interval",
     "MassAccount",
     "Posterior",
     "divide_bounds",
     "enumerate_paths",
+    "fixpoint_posterior",
     "infer_posterior",
     "infer_query",
     "refine_until",
+    "station_token",
     "unfold_fix_once",
 ]

@@ -27,12 +27,13 @@ from repro.inference.interval import Interval, divide_bounds
 class MassAccount:
     """Mutable accumulator for enumerated probability mass."""
 
-    __slots__ = ("terminal", "fail", "unresolved", "expansions")
+    __slots__ = ("terminal", "fail", "unresolved", "parked", "expansions")
 
     def __init__(self):
         self.terminal: Dict[object, Fraction] = {}
         self.fail = Fraction(0)
         self.unresolved = Fraction(1)
+        self.parked = Fraction(0)
         self.expansions = 0
 
     def settle_leaf(self, value: object, mass: Fraction) -> None:
@@ -44,6 +45,25 @@ class MassAccount:
         """Move ``mass`` from the frontier to observation failure."""
         self._draw(mass)
         self.fail += mass
+
+    def park(self, mass: Fraction) -> None:
+        """Mark ``mass`` of the unresolved frontier as *permanently*
+        unresolved (pruned below the fixpoint engine's mass floor, or
+        accumulated outward-rounding dust).
+
+        Parked mass stays inside ``unresolved`` -- it still widens every
+        bound, which is what makes pruning sound -- but recording it
+        separately lets refinement loops distinguish "slack can still
+        contract toward ``parked``" from "slack has hit its floor".
+        """
+        if mass < 0:
+            raise ValueError("negative mass %s" % (mass,))
+        if self.parked + mass > self.unresolved:
+            raise ValueError(
+                "parking %s exceeds unresolved mass %s (parked %s)"
+                % (mass, self.unresolved, self.parked)
+            )
+        self.parked += mass
 
     def _draw(self, mass: Fraction) -> None:
         if mass < 0:

@@ -64,6 +64,31 @@ class Interval:
         """Whether the two intervals share at least one point."""
         return self.lo <= other.hi and other.lo <= self.hi
 
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands."""
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def outward(self, bits: int) -> "Interval":
+        """Round outward to the dyadic grid ``2**-bits``: the lower
+        endpoint down, the upper endpoint up.
+
+        Rounding *outward* is the sound direction for certified bounds:
+        the result contains the original interval, so any value the
+        original bound covers is still covered.  The fixpoint engine
+        (:mod:`repro.inference.fixpoint`) uses the same idea one level
+        lower -- its mass ledger floors every transfer onto the grid --
+        and the oracle cache uses this method to serialize bounds with
+        denominators capped at ``2**bits`` without losing soundness.
+        """
+        if bits < 0:
+            raise ValueError("bits must be nonnegative")
+        grid = 1 << bits
+        lo_scaled = self.lo * grid
+        hi_scaled = self.hi * grid
+        lo = lo_scaled.numerator // lo_scaled.denominator
+        hi = -((-hi_scaled.numerator) // hi_scaled.denominator)
+        return Interval(Fraction(lo, grid), Fraction(hi, grid))
+
     def __add__(self, other: "Interval") -> "Interval":
         if not isinstance(other, Interval):
             return NotImplemented

@@ -29,12 +29,30 @@ from repro.lang.syntax import Command
 
 
 class Posterior:
-    """Interval-valued posterior over terminal program states."""
+    """Interval-valued posterior over terminal program states.
 
-    __slots__ = ("account",)
+    ``stats`` carries the :class:`repro.inference.fixpoint.FixpointStats`
+    of the run that produced the account, when fixpoint iteration (rather
+    than enumeration) did.  ``partial`` marks accounts whose slack has a
+    *known positive floor* -- the program provably diverges (ZAR001) or
+    iteration stalled -- so callers don't refine them further; the bounds
+    are still sound, merely permanently loose, and ``partial_reason``
+    says why in one line.
+    """
 
-    def __init__(self, account: MassAccount):
+    __slots__ = ("account", "stats", "partial", "partial_reason")
+
+    def __init__(
+        self,
+        account: MassAccount,
+        stats=None,
+        partial: bool = False,
+        partial_reason: Optional[str] = None,
+    ):
         self.account = account
+        self.stats = stats
+        self.partial = partial
+        self.partial_reason = partial_reason
 
     @property
     def exact(self) -> bool:
@@ -119,9 +137,11 @@ class Posterior:
         return Interval.point(acc / total)
 
     def __repr__(self):
-        return "Posterior(states=%d, slack=%s)" % (
+        flags = ", partial=%r" % (self.partial_reason,) if self.partial else ""
+        return "Posterior(states=%d, slack=%s%s)" % (
             len(self.account.terminal),
             self.slack,
+            flags,
         )
 
 
@@ -159,6 +179,66 @@ def infer_query(
     return posterior.query(predicate)
 
 
+def fixpoint_posterior(
+    program: Command,
+    sigma: Optional[State] = None,
+    width: Fraction = Fraction(1, 1 << 20),
+    max_sweeps: int = 100_000,
+    observed: Optional[Tuple[str, ...]] = None,
+    grid_bits: Optional[int] = None,
+    floor_bits: Optional[int] = None,
+) -> Posterior:
+    """Certified posterior bounds by fixpoint iteration over the CF-DAG.
+
+    The workhorse behind the certified test oracle (``tests/oracle.py``)
+    and ``zar bounds``: where :func:`infer_posterior` truncates at an
+    enumeration budget, this contracts the unresolved mass geometrically
+    per sweep (see :mod:`repro.inference.fixpoint`), so open loops whose
+    states recur -- random walks, rejection loops -- converge to widths
+    enumeration cannot reach.
+
+    ``observed`` opt-in applies :func:`repro.compiler.liveness.
+    narrow_command` first: resetting dead scratch variables at loop
+    heads collapses the station space onto its live projection, often
+    the difference between thousands of stations and a handful.  The
+    posterior is then exact over the ``observed`` variables only.
+
+    Returns a partial (``partial=True``) posterior instead of spinning
+    when iteration stalls -- the diverging-loop case -- or when
+    ``max_sweeps`` runs out; the bounds are sound either way.
+    """
+    from repro.compiler.liveness import narrow_command
+    from repro.inference.fixpoint import FixpointEngine
+
+    sigma = sigma if sigma is not None else State()
+    if observed is not None:
+        program = narrow_command(program, observed=tuple(observed))
+    tree = compile_cpgcl(program, sigma)
+    kwargs = {}
+    if grid_bits is not None:
+        kwargs["grid_bits"] = grid_bits
+    if floor_bits is not None:
+        kwargs["floor_bits"] = floor_bits
+    engine = FixpointEngine(**kwargs)
+    stats = engine.run(tree, width=Fraction(width), max_sweeps=max_sweeps)
+    reason = None
+    if stats.stalled:
+        reason = "fixpoint stalled: slack %.3g has a positive limit" % (
+            float(stats.slack),
+        )
+    elif not stats.converged:
+        reason = "sweep budget %d exhausted at slack %.3g" % (
+            max_sweeps,
+            float(stats.slack),
+        )
+    return Posterior(
+        engine.account(),
+        stats=stats,
+        partial=reason is not None,
+        partial_reason=reason,
+    )
+
+
 def refine_until(
     program: Command,
     width: Fraction,
@@ -168,13 +248,44 @@ def refine_until(
 ) -> Posterior:
     """Double the enumeration budget until ``slack <= width``.
 
+    Programs the abstract interpreter *proves* divergent (the ZAR001
+    error: every path through some reachable loop keeps its guard true)
+    have slack with a positive limit, so no budget reaches ``width``.
+    For those the doubling loop is capped at ``initial_expansions`` and
+    the bounds come back marked ``partial=True`` with the analyzer's
+    verdict in ``partial_reason`` -- still sound, permanently loose.
+
     Raises ``RuntimeError`` if the requested precision is not reached
-    within ``max_total_expansions`` -- e.g. for programs with nonzero
-    divergence probability, whose slack has a positive limit.
+    within ``max_total_expansions`` on a program the analyzer could
+    *not* prove divergent (slow convergence and unproven divergence are
+    indistinguishable to enumeration; callers pick the budget).
     """
     width = Fraction(width)
     if width <= 0:
         raise ValueError("width must be positive")
+
+    from repro.analysis.interp import analyze
+
+    diverges = False
+    try:
+        diverges = analyze(program, sigma).certainly_diverges()
+    except Exception:
+        # Analysis is best-effort: anything it cannot handle (Opaque
+        # terms, budget blowups) falls back to the plain budget loop.
+        diverges = False
+    if diverges:
+        posterior = infer_posterior(
+            program, sigma, max_expansions=initial_expansions, mass_tol=width
+        )
+        return Posterior(
+            posterior.account,
+            partial=True,
+            partial_reason=(
+                "ZAR001: program certainly diverges; slack %s cannot "
+                "contract below the divergence mass" % (posterior.slack,)
+            ),
+        )
+
     budget = initial_expansions
     while True:
         posterior = infer_posterior(

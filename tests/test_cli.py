@@ -134,6 +134,47 @@ class TestInfer:
         assert "P(x=1)" in text
 
 
+class TestBounds:
+    def test_certified_marginal(self, programs_dir):
+        code, text = run_cli(
+            "bounds", str(programs_dir / "die.gcl"), "--var", "x"
+        )
+        assert code == 0
+        assert "sweeps:" in text
+        assert "P(x=3) in [" in text
+        assert "PARTIAL" not in text
+
+    def test_json_payload(self, programs_dir):
+        import json
+
+        code, text = run_cli(
+            "bounds", str(programs_dir / "walk.gcl"),
+            "--var", "pos", "--format", "json",
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["partial"] is False
+        assert payload["stats"]["converged"] is True
+        values = {row["value"] for row in payload["marginal"]["pmf"]}
+        assert values == {"0", "2", "-2"}
+        for row in payload["marginal"]["pmf"]:
+            assert Fraction(row["lo"]) <= Fraction(row["hi"])
+
+    def test_divergent_loop_reports_partial(self, tmp_path):
+        path = tmp_path / "spin.gcl"
+        path.write_text("x := 0;\nwhile x < 1 {\n    x := x;\n}\n")
+        code, text = run_cli("bounds", str(path))
+        assert code == 0
+        assert "PARTIAL" in text
+
+    def test_rejects_bad_width(self, programs_dir):
+        code, text = run_cli(
+            "bounds", str(programs_dir / "die.gcl"), "--width-bits", "0"
+        )
+        assert code == 1
+        assert "width-bits" in text
+
+
 class TestMcmc:
     def test_chain_summary(self, programs_dir):
         code, text = run_cli(

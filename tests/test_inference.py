@@ -394,8 +394,11 @@ class TestRefineUntil:
         with pytest.raises(ValueError):
             refine_until(Skip(), Fraction(0))
 
-    def test_gives_up_at_budget(self):
+    def test_proven_divergence_returns_partial_bounds(self):
         # Divergence with probability 1/2: slack never drops below 1/2.
+        # The abstract interpreter proves it (ZAR001), so refine_until
+        # must not spin the budget loop: it returns sound partial
+        # bounds flagged as such instead of raising.
         from repro.lang.syntax import While
 
         diverging = Choice(
@@ -403,10 +406,28 @@ class TestRefineUntil:
             Seq(Assign("loop", True), While(Var("loop"), Skip())),
             Assign("loop", False),
         )
+        posterior = refine_until(
+            diverging,
+            Fraction(1, 4),
+            initial_expansions=16,
+            max_total_expansions=512,
+        )
+        assert posterior.partial
+        assert "ZAR001" in posterior.partial_reason
+        assert posterior.slack >= HALF
+        assert posterior.account.check_conservation()
+        # The terminating half is still bounded soundly.
+        bounds = posterior.query(lambda s: s["loop"] is False)
+        assert bounds.contains(1)
+
+    def test_gives_up_at_budget_without_divergence_proof(self):
+        # Slow convergence the analyzer cannot distinguish from
+        # divergence still raises at the budget, as before.
+        posterior_width = Fraction(1, 10**30)
         with pytest.raises(RuntimeError):
             refine_until(
-                diverging,
-                Fraction(1, 4),
+                dueling_coins(Fraction(1, 10**6)),
+                posterior_width,
                 initial_expansions=16,
-                max_total_expansions=512,
+                max_total_expansions=64,
             )

@@ -1,0 +1,114 @@
+"""Property tests: fixpoint iteration vs path enumeration.
+
+Both inference paths produce *sound* interval bounds on the same
+distribution -- enumeration by truncating the best-first path search at
+a budget (`repro.inference.paths`), fixpoint iteration by contracting
+frontier mass through memoized loop transitions
+(`repro.inference.fixpoint`).  Soundness of each implies two testable
+relations without knowing the true distribution:
+
+- at **every** enumeration budget, both engines' intervals contain the
+  truth, so they must pairwise intersect;
+- refining either engine (more expansions, more sweeps) can only shrink
+  its intervals, and the shrunken interval must nest inside the coarse
+  one.
+
+These run on randomly generated loopy programs, so they cover shapes
+the curated oracle registry (tests/oracle.py) does not.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.cftree.compile import compile_cpgcl
+from repro.inference import FixpointEngine, fixpoint_posterior, infer_posterior
+from tests.strategies import commands_with_loops, mixed_states
+
+BUDGETS = (4, 32, 256)
+WIDTH = Fraction(1, 2**16)
+
+
+def _support_union(*accounts):
+    values = set()
+    for account in accounts:
+        values.update(account.terminal)
+    return values
+
+
+def _assert_intersects(a, b, context):
+    assert a.lo <= a.hi and b.lo <= b.hi, context
+    assert a.lo <= b.hi and b.lo <= a.hi, (
+        "%s: %s and %s are disjoint" % (context, a, b)
+    )
+
+
+class TestCrossEngineConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(commands_with_loops(2), mixed_states)
+    def test_bounds_intersect_at_every_budget(self, command, sigma):
+        certified = fixpoint_posterior(command, sigma, width=WIDTH)
+        assert certified.account.check_conservation()
+        for budget in BUDGETS:
+            coarse = infer_posterior(command, sigma, max_expansions=budget)
+            assert coarse.account.check_conservation()
+            _assert_intersects(
+                certified.account.success_bounds(),
+                coarse.account.success_bounds(),
+                "success mass at budget %d" % budget,
+            )
+            _assert_intersects(
+                certified.account.fail_bounds(),
+                coarse.account.fail_bounds(),
+                "fail mass at budget %d" % budget,
+            )
+            for value in _support_union(certified.account, coarse.account):
+                _assert_intersects(
+                    certified.account.unconditional_bounds(value),
+                    coarse.account.unconditional_bounds(value),
+                    "P(%r) at budget %d" % (value, budget),
+                )
+
+    @settings(max_examples=25, deadline=None)
+    @given(commands_with_loops(2), mixed_states)
+    def test_enumeration_refinement_is_monotone(self, command, sigma):
+        previous = None
+        for budget in BUDGETS:
+            posterior = infer_posterior(command, sigma, max_expansions=budget)
+            slack = posterior.account.unresolved
+            assert 0 <= slack <= 1
+            if previous is not None:
+                assert slack <= previous
+            previous = slack
+
+
+class TestFixpointRefinement:
+    @settings(max_examples=25, deadline=None)
+    @given(commands_with_loops(2), mixed_states)
+    def test_sweeps_nest_intervals(self, command, sigma):
+        # The terminal ledger only ever grows and unresolved mass only
+        # ever shrinks, so the interval for every value after sweep k+j
+        # must nest inside the interval after sweep k.
+        engine = FixpointEngine()
+        engine.push(compile_cpgcl(command, sigma))
+        snapshots = []
+        for _round in range(4):
+            for _sweep in range(2):
+                engine.sweep()
+            account = engine.account()
+            assert account.check_conservation()
+            snapshots.append(
+                {
+                    value: account.unconditional_bounds(value)
+                    for value in account.terminal
+                }
+            )
+            if not engine.frontier:
+                break
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            for value, coarse in earlier.items():
+                fine = later[value]
+                assert coarse.lo <= fine.lo <= fine.hi <= coarse.hi, (
+                    "refinement widened P(%r): %s -> %s"
+                    % (value, coarse, fine)
+                )
