@@ -14,6 +14,7 @@ to reproduce at paper scale.
 
 import json
 import os
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -25,13 +26,41 @@ def bench_samples(weight: int = 1) -> int:
     return max(300, base // weight)
 
 
-def write_json_result(name: str, record: dict) -> None:
+def timed_run(fn, *args, **kwargs):
+    """Run ``fn(*args, **kwargs)`` once under ``perf_counter``.
+
+    Returns ``(result, seconds)`` with seconds clamped strictly positive
+    so throughput divisions never blow up on sub-resolution runs.  This
+    is the one timing idiom the benchmark suite uses; the per-bench
+    copies of the start/stop boilerplate routed through here.
+    """
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    seconds = time.perf_counter() - start
+    return result, max(seconds, 1e-9)
+
+
+def row_timing(param: str, n: int, seconds: float) -> dict:
+    """One throughput record for a table row (embedded in BENCH json)."""
+    return {
+        "param": param,
+        "samples": n,
+        "seconds": round(seconds, 6),
+        "samples_per_sec": round(n / seconds, 1),
+    }
+
+
+def write_bench_json(name: str, record: dict) -> None:
     """Persist a machine-readable benchmark record (for CI artifacts)."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / ("%s.json" % name)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print()
     print("%s: %s" % (path.name, json.dumps(record, sort_keys=True)))
+
+
+#: Back-compat alias; new benchmarks use :func:`write_bench_json`.
+write_json_result = write_bench_json
 
 
 def write_result(name: str, text: str) -> None:

@@ -26,7 +26,7 @@ from repro.engine.api import BatchSampler
 from repro.lang.parser import parse_program
 from repro.lang.state import State
 
-from benchmarks._common import bench_samples, write_json_result
+from benchmarks._common import bench_samples, write_bench_json
 
 EXAMPLES = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -98,7 +98,7 @@ def main() -> None:
     assert slowest < 30_000, "lint must stay interactive, got %sms" % slowest
 
     prune = _prune_record(bench_samples())
-    write_json_result(
+    write_bench_json(
         "BENCH_analysis",
         {"lint": lint, "prune": prune, "lint_slowest_ms": slowest},
     )

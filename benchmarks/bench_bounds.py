@@ -30,7 +30,7 @@ sys.path.insert(0, os.path.join(_ROOT, "tests"))
 
 import oracle  # noqa: E402  (tests/oracle.py, needs the path insert)
 
-from benchmarks._common import write_json_result  # noqa: E402
+from benchmarks._common import write_bench_json  # noqa: E402
 
 #: Entries whose fresh certification is too slow for a smoke benchmark.
 REPORT_FROM_CACHE = frozenset({"ex_hare_tortoise"})
@@ -83,7 +83,7 @@ def main() -> None:
     total = sum(
         record.get("wall_seconds", 0.0) for record in records.values()
     )
-    write_json_result(
+    write_bench_json(
         "BENCH_bounds",
         {
             "entries": records,

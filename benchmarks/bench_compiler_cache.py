@@ -38,7 +38,7 @@ from repro.compiler.pipeline import Pipeline
 from repro.lang.expr import Var
 from repro.lang.sugar import dueling_coins, hare_tortoise, n_sided_die
 
-from benchmarks._common import bench_samples, write_json_result
+from benchmarks._common import bench_samples, write_bench_json
 
 #: Conditioning predicate of the Fig. 9b row ("time <= 10").
 HARE = hare_tortoise(Var("time") <= 10)
@@ -237,7 +237,7 @@ def test_compiler_cache_benchmark(benchmark, tmp_path):
     record = benchmark.pedantic(
         lambda: bench_record(str(tmp_path)), rounds=1, iterations=1
     )
-    write_json_result("BENCH_compiler", record)
+    write_bench_json("BENCH_compiler", record)
 
     # Acceptance: >= 20% row reduction from the CSE stage on a paper
     # benchmark (the die is the named example; dueling coins doubles it).
@@ -281,4 +281,4 @@ if __name__ == "__main__":
     import tempfile
 
     with tempfile.TemporaryDirectory() as tmp:
-        write_json_result("BENCH_compiler", bench_record(tmp))
+        write_bench_json("BENCH_compiler", bench_record(tmp))

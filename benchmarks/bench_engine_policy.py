@@ -1,0 +1,136 @@
+"""Engine-policy benchmark: does the measured policy beat its prior?
+
+The ``engine="auto"`` seam now resolves through a telemetry-backed
+epsilon-greedy tuner (:mod:`repro.engine.tuner`) whose cold-start prior
+is the old static heuristic (:func:`repro.engine.profile.static_profile`).
+This benchmark makes that claim falsifiable:
+
+1. **Train**: measure every candidate profile arm a few times per
+   program, feeding recorded samples/sec into a fresh tuner (exactly
+   what ``collect_auto`` does after every routed run).
+2. **Evaluate**: for each trial, time the static profile and the
+   tuner's pure-exploitation choice (``choose(explore=False)``) side by
+   side; the trial is a *win* when the tuned throughput is at least
+   ``TOLERANCE`` of the static throughput.  Matching the prior counts:
+   the tuner's contract is "never worse than the heuristic it replaced",
+   not "always strictly faster".
+3. **Gate** (``tools/check_policy_cp.py``): the one-sided Clopper-
+   Pearson lower bound on the win rate at ``alpha`` must clear
+   ``min_rate`` -- a statistical gate, so one noisy CI trial cannot
+   flake the job, but a real policy regression cannot hide either.
+
+Writes ``benchmarks/results/BENCH_policy.json``.  Run with
+``ZAR_TELEMETRY_DIR`` set to also exercise the JSONL telemetry path on
+every routed run (CI does).
+"""
+
+import os
+import sys
+from fractions import Fraction
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, _ROOT)  # `benchmarks` package when run as a script
+
+from benchmarks._common import bench_samples, timed_run, write_bench_json  # noqa: E402
+
+from repro.compiler.pipeline import compile_program  # noqa: E402
+from repro.engine import collect_auto  # noqa: E402
+from repro.engine.profile import (  # noqa: E402
+    PROFILES,
+    feature_bucket,
+    features_of,
+    static_profile,
+)
+from repro.engine.tuner import EngineTuner  # noqa: E402
+from repro.lang.sugar import dueling_coins, n_sided_die  # noqa: E402
+
+#: A tuned run must reach this fraction of the static throughput to
+#: count as a win -- slack for scheduler noise, not for regressions.
+TOLERANCE = 0.8
+
+TRAIN_REPS = 3
+TIMING_REPS = 3  # median-of per side per trial
+
+
+def _programs():
+    return [
+        ("die_n6", n_sided_die(6)),
+        ("die_n200", n_sided_die(200)),
+        ("dueling_2_3", dueling_coins(Fraction(2, 3))),
+    ]
+
+
+def _throughput(command, n, seed, profile):
+    """Median samples/sec of ``TIMING_REPS`` routed runs."""
+    rates = []
+    for rep in range(TIMING_REPS):
+        result, _ = timed_run(
+            collect_auto, command, n, seed=seed + rep, profile=profile
+        )
+        rates.append(n / max(result.seconds, 1e-9))
+    return sorted(rates)[len(rates) // 2]
+
+
+def main() -> int:
+    n = bench_samples(4)
+    trials_per_program = int(os.environ.get("ZAR_POLICY_TRIALS", "10"))
+    tuner = EngineTuner(path=None, epsilon=0.0, seed=7)
+
+    prepared = []
+    for label, command in _programs():
+        program = compile_program(
+            command,
+            None,
+            passes=PROFILES["batch-auto"].passes,
+            coalesce=PROFILES["batch-auto"].coalesce,
+            max_nodes=PROFILES["batch-auto"].max_nodes,
+        )
+        prepared.append((label, command, features_of(program)))
+
+    # -- train: measure every candidate arm per program -----------------
+    for label, command, features in prepared:
+        for arm in tuner.candidates():
+            for rep in range(TRAIN_REPS):
+                rate = _throughput(command, n, 100 + rep, PROFILES[arm])
+                tuner.record(features, PROFILES[arm], rate)
+
+    # -- evaluate: tuned (exploit) vs static, trial by trial -------------
+    wins = 0
+    trials = []
+    for label, command, features in prepared:
+        static = static_profile(features)
+        tuned = tuner.choose(features, explore=False)
+        for trial in range(trials_per_program):
+            seed = 1000 + 17 * trial
+            static_sps = _throughput(command, n, seed, static)
+            tuned_sps = _throughput(command, n, seed, tuned)
+            win = tuned_sps >= TOLERANCE * static_sps
+            wins += win
+            trials.append(
+                {
+                    "program": label,
+                    "bucket": feature_bucket(features),
+                    "static_profile": static.name,
+                    "tuned_profile": tuned.name,
+                    "static_samples_per_sec": round(static_sps, 1),
+                    "tuned_samples_per_sec": round(tuned_sps, 1),
+                    "win": bool(win),
+                }
+            )
+
+    record = {
+        "benchmark": "engine_policy",
+        "samples_per_run": n,
+        "tolerance": TOLERANCE,
+        "trials": len(trials),
+        "wins": wins,
+        "arms": tuner.candidates(),
+        "state": tuner.state,
+        "per_trial": trials,
+    }
+    write_bench_json("BENCH_policy", record)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,13 @@ from repro.lang.expr import Lit, Var
 from repro.lang.sugar import hare_tortoise
 from repro.sampler.harness import format_table, run_row
 
-from benchmarks._common import bench_samples, write_result
+from benchmarks._common import (
+    bench_samples,
+    row_timing,
+    timed_run,
+    write_bench_json,
+    write_result,
+)
 
 CASES = [
     ("true", Lit(True), 4, 4.49, 193.88),
@@ -33,10 +39,13 @@ CASES = [
 def test_fig9b_row(benchmark, label, pred, weight, paper_mean, paper_bits):
     program = hare_tortoise(pred)
     n = bench_samples(weight)
-    row = benchmark.pedantic(
-        lambda: run_row(program, "t0", label, n=n, seed=59),
+    row, seconds = benchmark.pedantic(
+        lambda: timed_run(run_row, program, "t0", label, n=n, seed=59),
         rounds=1, iterations=1,
     )
+    test_fig9b_row.timings = getattr(test_fig9b_row, "timings", []) + [
+        row_timing(label, n, seconds)
+    ]
     assert abs(row.mean - paper_mean) < 0.4
     assert abs(row.mean_bits - paper_bits) / paper_bits < 0.2
     test_fig9b_row.rows = getattr(test_fig9b_row, "rows", []) + [row]
@@ -66,3 +75,9 @@ def test_fig9b_shape_and_render(benchmark):
             "t>=10 6.18/596.7 | t>=20 6.40/1376.7"
         )
         write_result("fig9b_hare_tortoise", text)
+    timings = getattr(test_fig9b_row, "timings", [])
+    if timings:
+        write_bench_json(
+            "BENCH_fig9b",
+            {"benchmark": "fig9b_hare_tortoise", "rows": timings},
+        )

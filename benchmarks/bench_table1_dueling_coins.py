@@ -25,7 +25,13 @@ from repro.lang.sugar import dueling_coins
 from repro.sampler.harness import format_table, run_row
 from repro.stats.distributions import bernoulli_pmf
 
-from benchmarks._common import bench_samples, write_result
+from benchmarks._common import (
+    bench_samples,
+    row_timing,
+    timed_run,
+    write_bench_json,
+    write_result,
+)
 
 CASES = [
     # (p, weight, paper mu_bit)
@@ -40,13 +46,17 @@ CASES = [
 def test_table1_row(benchmark, p, weight, paper_bits):
     program = dueling_coins(p)
     n = bench_samples(weight)
-    row = benchmark.pedantic(
-        lambda: run_row(
+    row, seconds = benchmark.pedantic(
+        lambda: timed_run(
+            run_row,
             program, "a", "p=%s" % p,
             true_pmf=bernoulli_pmf(Fraction(1, 2)), n=n, seed=17,
         ),
         rounds=1, iterations=1,
     )
+    test_table1_row.timings = getattr(test_table1_row, "timings", []) + [
+        row_timing("p=%s" % p, n, seconds)
+    ]
     # Posterior over a is Bernoulli(1/2) for every bias.
     assert abs(row.mean - 0.5) < 5.0 / (n ** 0.5)
     # Entropy shape: sampled bits near the exact pipeline expectation,
@@ -69,3 +79,9 @@ def test_table1_render(benchmark):
             "\npaper: p=2/3 bits 12.00 | p=4/5 bits 27.59 | p=1/20 bits 134.97"
         )
         write_result("table1_dueling_coins", text)
+    timings = getattr(test_table1_row, "timings", [])
+    if timings:
+        write_bench_json(
+            "BENCH_table1",
+            {"benchmark": "table1_dueling_coins", "rows": timings},
+        )

@@ -12,22 +12,23 @@ within the Knuth-Yao H+2 band.  The exact expected flips are 11/3, 9,
 and 15.619; sampled means must agree.
 """
 
-import time
-
 import pytest
 
 from repro.cftree.analysis import expected_bits
 from repro.cftree.uniform import uniform_tree
-from repro.engine import BatchSampler, HAVE_NUMPY
-from repro.itree.unfold import cpgcl_to_itree
-from repro.lang.state import State
+from repro.engine import collect_auto, profile_named, static_profile
 from repro.lang.sugar import n_sided_die
 from repro.sampler.harness import format_table, run_row
-from repro.sampler.record import collect
 from repro.stats.distributions import uniform_pmf
 from repro.stats.entropy import knuth_yao_bounds
 
-from benchmarks._common import bench_samples, write_json_result, write_result
+from benchmarks._common import (
+    bench_samples,
+    row_timing,
+    timed_run,
+    write_bench_json,
+    write_result,
+)
 
 CASES = [
     (6, 1, 3.66),
@@ -41,13 +42,17 @@ CASES = [
 def test_table3_row(benchmark, n, weight, paper_bits):
     program = n_sided_die(n)
     count = bench_samples(weight)
-    row = benchmark.pedantic(
-        lambda: run_row(
+    row, seconds = benchmark.pedantic(
+        lambda: timed_run(
+            run_row,
             program, "x", "n=%d" % n,
             true_pmf=uniform_pmf(n, start=1), n=count, seed=31,
         ),
         rounds=1, iterations=1,
     )
+    test_table3_row.timings = getattr(test_table3_row, "timings", []) + [
+        row_timing("n=%d" % n, count, seconds)
+    ]
     expected_mean = (n + 1) / 2
     assert abs(row.mean - expected_mean) / expected_mean < 0.05
     exact_bits = float(expected_bits(uniform_tree(n)))
@@ -66,45 +71,54 @@ def test_table3_engine_speedup(benchmark):
     """The acceptance bar for the batch engine: >= 10x samples/sec over
     the per-sample trampoline on the 6-sided die, measured side by side.
 
-    The trampoline is timed on a reduced count (it is the slow side);
+    Both sides now run through ``collect_auto`` with pinned
+    :class:`~repro.engine.profile.EngineProfile`\\ s (the trampoline
+    registry profile vs the static batch profile), so the comparison
+    exercises the same selection seam the harness and CLI use -- and
+    emits telemetry records when ``ZAR_TELEMETRY_DIR`` is set.  The
+    trampoline is timed on a reduced count (it is the slow side);
     throughputs are samples/sec, so the counts need not match.
     """
     program = n_sided_die(6)
     engine_count = bench_samples()
     trampoline_count = max(300, engine_count // 10)
 
-    tree = cpgcl_to_itree(program, State())
-    collect(tree, 50, seed=0, extract=lambda s: s["x"])  # warm caches
-    start = time.perf_counter()
-    collect(tree, trampoline_count, seed=17, extract=lambda s: s["x"])
-    trampoline_sps = trampoline_count / (time.perf_counter() - start)
+    tramp_profile = profile_named("trampoline")
+    extract = lambda s: s["x"]  # noqa: E731
+    collect_auto(program, 50, seed=0, extract=extract,
+                 profile=tramp_profile)  # warm caches
+    tramp = collect_auto(program, trampoline_count, seed=17,
+                         extract=extract, profile=tramp_profile)
+    trampoline_sps = trampoline_count / max(tramp.seconds, 1e-9)
 
-    sampler = BatchSampler.from_command(program)
+    engine_profile = static_profile()
 
     def run_engine():
-        return sampler.collect(
-            engine_count, seed=17, extract=lambda s: s["x"]
-        )
+        return collect_auto(program, engine_count, seed=17,
+                            extract=extract, profile=engine_profile)
 
-    samples = benchmark.pedantic(run_engine, rounds=1, iterations=1)
-    start = time.perf_counter()
-    sampler.collect(engine_count, seed=18, extract=lambda s: s["x"])
-    engine_sps = engine_count / (time.perf_counter() - start)
+    first = benchmark.pedantic(run_engine, rounds=1, iterations=1)
+    second = collect_auto(program, engine_count, seed=18, extract=extract,
+                          profile=engine_profile)
+    engine_sps = engine_count / max(second.seconds, 1e-9)
 
     speedup = engine_sps / trampoline_sps
     record = {
         "benchmark": "table3_die_n6",
-        "backend": "numpy" if HAVE_NUMPY else "python",
+        "profile": engine_profile.as_dict(),
+        "backend": engine_profile.backend,
+        "fallback_reason": second.fallback_reason,
         "engine_samples": engine_count,
         "trampoline_samples": trampoline_count,
         "engine_samples_per_sec": round(engine_sps, 1),
         "trampoline_samples_per_sec": round(trampoline_sps, 1),
         "speedup": round(speedup, 2),
-        "table_nodes": len(sampler.table),
+        "table_nodes": second.table_nodes,
     }
-    write_json_result("BENCH_engine", record)
+    write_bench_json("BENCH_engine", record)
+    assert second.engine == "batch" and second.fallback_reason is None
     # Sanity: the engine sampled the same distribution (3.66 bits/sample).
-    assert abs(samples.mean_bits() - 11 / 3) < 0.2
+    assert abs(first.samples.mean_bits() - 11 / 3) < 0.2
     assert speedup >= 10.0, "engine speedup %.1fx below the 10x bar" % speedup
 
 
@@ -118,3 +132,8 @@ def test_table3_render(benchmark):
         text = format_table("Table 3: n-sided die", rows, var_name="x")
         text += "\npaper: n=6 bits 3.66 | n=200 bits 9.01 | n=10k bits 15.62"
         write_result("table3_die", text)
+    timings = getattr(test_table3_row, "timings", [])
+    if timings:
+        write_bench_json(
+            "BENCH_table3", {"benchmark": "table3_die", "rows": timings}
+        )

@@ -252,6 +252,43 @@ def _print_pipeline_stats(program, sigma, args, out: TextIO) -> None:
         artifacts["stores"],
         ", disk %s" % artifacts["disk_dir"] if artifacts["disk_dir"] else "",
     ), file=out)
+    _print_engine_selection(prog, out)
+
+
+def _print_engine_selection(prog, out: TextIO) -> None:
+    """Render the engine-selection block of the stage report.
+
+    Engines, backends, and profiles are enumerated from the engine
+    registry (never by hand), so registering a new backend shows up
+    here -- and in ``--engine``/``--profile`` help -- with no CLI edit.
+    """
+    from repro.engine.api import BACKENDS, ENGINES
+    from repro.engine.profile import (
+        PROFILES,
+        feature_bucket,
+        features_of,
+        static_profile,
+    )
+    from repro.engine.tuner import get_tuner, tuning_enabled
+
+    features = features_of(prog)
+    print("  engines:       %s (backends: %s)" % (
+        ", ".join(ENGINES), ", ".join(BACKENDS)), file=out)
+    print("  profiles:      %s" % ", ".join(sorted(PROFILES)), file=out)
+    print("  features:      rows=%d %s H_branch=%.2f bucket=%s" % (
+        features.rows,
+        "closed" if features.closed else "open",
+        features.branch_entropy,
+        feature_bucket(features),
+    ), file=out)
+    if tuning_enabled():
+        choice = get_tuner().choose(features, explore=False)
+        policy = "tuned (state: %s)" % get_tuner().path
+    else:
+        choice = static_profile(features)
+        policy = "static prior"
+    print("  auto profile:  %s -- %s" % (choice.describe(), policy),
+          file=out)
 
 
 def cmd_sample(args, out: TextIO) -> int:
@@ -260,7 +297,14 @@ def cmd_sample(args, out: TextIO) -> int:
     extract = _extractor(args.var)
     from repro.engine import LoweringError
     from repro.engine.api import collect_auto
+    from repro.engine.profile import profile_named
 
+    profile = None
+    if getattr(args, "profile", None):
+        try:
+            profile = profile_named(args.profile)
+        except ValueError as err:
+            raise CliError(str(err))
     try:
         result = collect_auto(
             program,
@@ -269,15 +313,23 @@ def cmd_sample(args, out: TextIO) -> int:
             seed=args.seed,
             extract=extract,
             engine=getattr(args, "engine", "auto"),
+            backend=getattr(args, "backend", None),
+            profile=profile,
         )
     except LoweringError as err:
         raise CliError("batch engine: %s" % err)
+    except ValueError as err:
+        raise CliError(str(err))
     samples = result.samples
     if result.engine == "batch":
         print("engine:    batch (%d table nodes)" % result.table_nodes,
               file=out)
     else:
         print("engine:    trampoline", file=out)
+    if result.profile is not None:
+        print("profile:   %s" % result.profile.describe(), file=out)
+    if result.fallback_reason:
+        print("fallback:  %s" % result.fallback_reason, file=out)
     print("samples:   %d (seed %s)" % (len(samples), args.seed), file=out)
     print("mean bits: %.2f (std %.2f)"
           % (samples.mean_bits(), samples.std_bits()), file=out)

@@ -21,6 +21,9 @@ import argparse
 import sys
 from typing import List, Optional, TextIO
 
+from repro.engine.api import BACKENDS, ENGINES
+from repro.engine.profile import PROFILES
+
 from repro.cli.commands import (
     CliError,
     cmd_bounds,
@@ -129,10 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
                           help="report this variable instead of full states")
     p_sample.add_argument("--top", type=int, default=10,
                           help="outcomes to list (default 10)")
+    # Engine/backend/profile choices come from the engine registry --
+    # adding a backend (e.g. "native") is a one-site change there.
     p_sample.add_argument(
-        "--engine", choices=("auto", "batch", "trampoline"), default="auto",
-        help="sampling path: vectorized batch engine (auto falls back to "
-        "the per-sample trampoline when lowering fails)",
+        "--engine", choices=ENGINES, default="auto",
+        help="sampling path (%s): the vectorized batch engine; auto is "
+        "the measured policy (telemetry-backed when a tuner state is "
+        "configured) and falls back to the per-sample trampoline when "
+        "lowering fails" % "|".join(ENGINES),
+    )
+    p_sample.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="batch driver tier (%s); default picks the best available"
+        % "|".join(BACKENDS),
+    )
+    p_sample.add_argument(
+        "--profile", choices=tuple(sorted(PROFILES)), default=None,
+        help="named engine profile (%s); pins engine, backend, pass "
+        "list, and node budget in one flag" % ", ".join(sorted(PROFILES)),
     )
     p_sample.set_defaults(run=cmd_sample)
 

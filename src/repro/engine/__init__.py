@@ -23,12 +23,24 @@ from repro.engine.driver import (
     run_table,
 )
 from repro.engine.pool import BitPool, HAVE_NUMPY, SourcePool
+from repro.engine.profile import (
+    PROFILES,
+    EngineProfile,
+    ProgramFeatures,
+    feature_bucket,
+    features_of,
+    profile_from_dict,
+    profile_named,
+    register_profile,
+    static_profile,
+)
 from repro.engine.table import (
     LoweringError,
     NodeTable,
     TableOverflow,
     lower_cftree,
 )
+from repro.engine.tuner import EngineTuner, get_tuner, tuning_enabled
 
 __all__ = [
     "BACKENDS",
@@ -37,14 +49,26 @@ __all__ = [
     "CollectResult",
     "ENGINES",
     "ENGINE_FAIL",
+    "EngineProfile",
+    "EngineTuner",
+    "PROFILES",
+    "ProgramFeatures",
     "collect_auto",
+    "feature_bucket",
+    "features_of",
+    "get_tuner",
     "HAVE_NUMPY",
     "LoweringError",
     "NodeTable",
+    "profile_from_dict",
+    "profile_named",
+    "register_profile",
     "SourcePool",
+    "static_profile",
     "TableOverflow",
     "collect_numpy",
     "collect_python",
     "lower_cftree",
     "run_table",
+    "tuning_enabled",
 ]

@@ -15,8 +15,16 @@ harness and benchmarks consume either interchangeably.  Backends:
 - ``"sequential"`` -- per-sample stepping against an explicit
   ``BitSource``; bit-for-bit equivalent to the trampoline (forced
   whenever ``source`` is given).
+
+Engine selection lives in :mod:`repro.engine.profile`: an
+:class:`~repro.engine.profile.EngineProfile` bundles every knob
+(engine, backend, batch size, pass list, coalesce, narrowing, fuel,
+node budget), and :func:`collect_auto` resolves ``engine="auto"``
+through the telemetry-backed policy in :mod:`repro.engine.tuner` with
+the old static heuristic as the cold-start prior.
 """
 
+import time
 from typing import Callable, List, NamedTuple, Optional, Tuple
 
 from repro.bits.source import BitSource, CountingBits
@@ -34,11 +42,51 @@ ENGINES = ("auto", "batch", "trampoline")
 
 
 class CollectResult(NamedTuple):
-    """``collect_auto``'s result: the samples plus which path ran."""
+    """``collect_auto``'s result: the samples plus which path ran.
+
+    ``profile`` is the resolved :class:`~repro.engine.profile.
+    EngineProfile`; ``fallback_reason`` carries the stringified
+    ``LoweringError`` when a requested batch path silently downgraded
+    to the trampoline (``None`` otherwise) -- telemetry records and
+    test assertions key on it.  ``seconds`` is sampling wall-clock
+    (compilation excluded).
+    """
 
     samples: SampleSet
     engine: str  # "batch" or "trampoline"
     table_nodes: int  # 0 on the trampoline path
+    profile: Optional[object] = None
+    fallback_reason: Optional[str] = None
+    seconds: float = 0.0
+
+
+def _narrowed(command: Command, observed) -> Command:
+    from repro.compiler.liveness import narrow_command
+
+    return narrow_command(
+        command, observed=tuple(observed) if observed else ()
+    )
+
+
+def _compile_with(command: Command, sigma, profile) -> "object":
+    """Compile ``command`` with the profile's compiler-shaping knobs."""
+    from repro.compiler.pipeline import compile_program
+
+    return compile_program(
+        command,
+        sigma,
+        passes=profile.passes,
+        coalesce=profile.coalesce,
+        max_nodes=profile.max_nodes,
+    )
+
+
+def _run_trampoline(command, n, sigma, seed, extract, fuel):
+    from repro.itree.unfold import cpgcl_to_itree
+    from repro.sampler.record import collect
+
+    tree = cpgcl_to_itree(command, sigma if sigma is not None else State())
+    return collect(tree, n, seed=seed, extract=extract, fuel=fuel)
 
 
 def collect_auto(
@@ -51,43 +99,191 @@ def collect_auto(
     fuel: Optional[int] = None,
     narrow: bool = False,
     observed: Optional[Tuple[str, ...]] = None,
+    profile: Optional[object] = None,
+    backend: Optional[str] = None,
+    tuner: Optional[object] = None,
 ) -> CollectResult:
     """Engine-selection policy shared by the harness, CLI, and checkers.
 
-    ``engine="auto"`` tries the batch engine and falls back to the
-    trampoline when lowering fails; ``"batch"`` propagates the
-    :class:`LoweringError` instead; ``"trampoline"`` forces the
-    per-sample reference driver.
+    The selection seam: every caller funnels through one resolved
+    :class:`~repro.engine.profile.EngineProfile`.
+
+    - ``profile`` pins the full strategy explicitly (CLI ``--profile``,
+      benchmarks, the tuner's arms); ``engine``/``backend`` are then
+      only used as overrides when passed.
+    - ``engine="auto"`` (no profile) tries the batch engine and falls
+      back to the trampoline when lowering fails -- the fallback is
+      *observable* via ``CollectResult.fallback_reason``.  The backend
+      comes from the telemetry-backed tuner when one is engaged (a
+      ``tuner`` argument, or ``ZAR_TUNER_STATE``/a configured artifact
+      store; see :mod:`repro.engine.tuner`), else from the static
+      heuristic -- which is also the tuner's cold-start prior, so an
+      untrained tuner is behaviorally identical to no tuner.
+    - ``engine="batch"`` propagates the :class:`LoweringError` instead
+      of falling back; ``engine="trampoline"`` forces the per-sample
+      reference driver.
 
     ``narrow=True`` applies liveness-driven loop-state narrowing
     (:func:`repro.compiler.liveness.narrow_command`) before sampling;
     ``observed`` names the variables whose final values the caller will
-    read (they are kept live through the transform).  The narrowing
-    happens at the command level, so the batch engine and the
-    trampoline fallback sample the same narrowed program.
+    read.  The narrowing happens at the command level, so the batch
+    engine and the trampoline fallback sample the same narrowed
+    program.
+
+    When telemetry is enabled (``ZAR_TELEMETRY_DIR``), every call
+    appends one JSONL run record: digest, profile, wall-clock,
+    samples/s, bits, cache tier, and any fallback reason.
     """
+    from repro.engine.profile import (
+        PROFILES,
+        features_of,
+        feature_bucket,
+        static_profile,
+        validate_profile,
+    )
+
     if engine not in ENGINES:
-        raise ValueError("unknown engine %r" % (engine,))
-    if narrow:
-        from repro.compiler.liveness import narrow_command
-
-        command = narrow_command(
-            command, observed=tuple(observed) if observed else ()
+        raise ValueError(
+            "unknown engine %r (valid: %s)" % (engine, ", ".join(ENGINES))
         )
-    if engine != "trampoline":
-        try:
-            sampler = BatchSampler.from_command(command, sigma)
-            samples = sampler.collect(n, seed=seed, extract=extract, fuel=fuel)
-            return CollectResult(samples, "batch", len(sampler.table))
-        except LoweringError:
-            if engine == "batch":
-                raise
-    from repro.itree.unfold import cpgcl_to_itree
-    from repro.sampler.record import collect
+    if backend is not None and backend not in BACKENDS:
+        raise ValueError(
+            "unknown backend %r (valid: %s)" % (backend, ", ".join(BACKENDS))
+        )
 
-    tree = cpgcl_to_itree(command, sigma if sigma is not None else State())
-    samples = collect(tree, n, seed=seed, extract=extract, fuel=fuel)
-    return CollectResult(samples, "trampoline", 0)
+    explicit = profile is not None
+    if explicit:
+        validate_profile(profile)
+        resolved = profile
+    elif engine == "trampoline":
+        resolved = PROFILES["trampoline"]
+    elif engine == "batch":
+        resolved = PROFILES["batch-auto"]
+    else:  # "auto": batch attempt first; backend policy resolved below.
+        resolved = None
+
+    # Per-call overrides win over the profile's stored knobs.
+    run_narrow = narrow or bool(resolved is not None and resolved.narrow)
+    run_fuel = fuel if fuel is not None else (
+        resolved.fuel if resolved is not None else None
+    )
+    if run_narrow:
+        command = _narrowed(command, observed)
+
+    # -- trampoline-only paths ------------------------------------------
+    if resolved is not None and resolved.engine == "trampoline":
+        start = time.perf_counter()
+        samples = _run_trampoline(command, n, sigma, seed, extract, run_fuel)
+        seconds = time.perf_counter() - start
+        result = CollectResult(samples, "trampoline", 0, resolved, None,
+                               seconds)
+        _emit_run(None, resolved, result, n, cache_source=None)
+        return result
+
+    # -- batch attempt ---------------------------------------------------
+    compile_profile = resolved if resolved is not None \
+        else PROFILES["batch-auto"]
+    fallback_reason = None
+    program = None
+    try:
+        program = _compile_with(command, sigma, compile_profile)
+    except LoweringError as err:
+        if engine == "batch" or explicit:
+            raise
+        fallback_reason = str(err)
+
+    if program is not None:
+        if resolved is None:
+            # engine="auto": pick the backend profile from features.
+            features = features_of(program)
+            active_tuner = tuner
+            if active_tuner is None:
+                from repro.engine.tuner import get_tuner, tuning_enabled
+
+                active_tuner = get_tuner() if tuning_enabled() else None
+            if active_tuner is not None:
+                resolved = active_tuner.choose(features)
+            else:
+                resolved = static_profile(features)
+            if (
+                resolved.passes != compile_profile.passes
+                or resolved.coalesce != compile_profile.coalesce
+                or resolved.max_nodes != compile_profile.max_nodes
+            ):
+                # The policy chose different compiler knobs: recompile
+                # (the artifact cache keys on them, so this is cheap
+                # when warm).
+                program = _compile_with(command, sigma, resolved)
+        else:
+            features = None
+            active_tuner = tuner
+        run_backend = backend if backend is not None else resolved.backend
+        sampler = BatchSampler(program.table)
+        start = time.perf_counter()
+        try:
+            samples = sampler.collect(
+                n,
+                seed=seed,
+                extract=extract,
+                fuel=run_fuel,
+                backend=run_backend,
+                batch_size=resolved.batch_size,
+            )
+        except LoweringError as err:
+            # Open tables can overflow their node budget mid-sampling.
+            if engine == "batch" or explicit:
+                raise
+            fallback_reason = str(err)
+        else:
+            seconds = time.perf_counter() - start
+            result = CollectResult(
+                samples, "batch", len(sampler.table), resolved, None, seconds
+            )
+            if active_tuner is not None and seconds > 0:
+                if features is None:
+                    features = features_of(program)
+                active_tuner.record(features, resolved, n / seconds)
+            _emit_run(
+                program, resolved, result, n,
+                cache_source=getattr(program, "source", None),
+                bucket=feature_bucket(features) if features is not None
+                else None,
+            )
+            return result
+
+    # -- trampoline fallback --------------------------------------------
+    start = time.perf_counter()
+    samples = _run_trampoline(command, n, sigma, seed, extract, run_fuel)
+    seconds = time.perf_counter() - start
+    result = CollectResult(
+        samples, "trampoline", 0, resolved, fallback_reason, seconds
+    )
+    _emit_run(program, resolved, result, n, cache_source=None)
+    return result
+
+
+def _emit_run(program, profile, result: CollectResult, n: int,
+              cache_source=None, bucket=None) -> None:
+    """Append a telemetry record for one run (no-op when disabled)."""
+    from repro.telemetry import make_run_record, emit, telemetry_enabled
+
+    if not telemetry_enabled():
+        return
+    emit(
+        make_run_record(
+            digest=getattr(program, "digest", None),
+            profile=profile.as_dict() if profile is not None else None,
+            n=n,
+            seconds=result.seconds,
+            engine=result.engine,
+            backend=profile.backend if profile is not None else None,
+            bits_total=sum(result.samples.bits),
+            cache_source=cache_source,
+            fallback_reason=result.fallback_reason,
+            table_rows=result.table_nodes,
+            feature_bucket=bucket,
+        )
+    )
 
 
 class BatchSampler:
@@ -129,6 +325,24 @@ class BatchSampler:
         return cls(program.table)
 
     @classmethod
+    def from_profile(
+        cls,
+        command: Command,
+        sigma: Optional[State] = None,
+        profile: Optional[object] = None,
+    ) -> "BatchSampler":
+        """Lower ``command`` with an :class:`~repro.engine.profile.
+        EngineProfile`'s compiler-shaping knobs."""
+        from repro.engine.profile import PROFILES, validate_profile
+
+        if profile is None:
+            profile = PROFILES["batch-auto"]
+        else:
+            validate_profile(profile)
+        program = _compile_with(command, sigma, profile)
+        return cls(program.table)
+
+    @classmethod
     def from_cftree(
         cls,
         tree: CFTree,
@@ -150,6 +364,37 @@ class BatchSampler:
         """One sample against an explicit source (trampoline-exact)."""
         return _driver.run_table(self.table, source, max_steps, self.tied)
 
+    def _collect_indices(
+        self,
+        n: int,
+        seed: Optional[int],
+        source: Optional[BitSource],
+        fuel: Optional[int],
+        backend: str,
+    ) -> Tuple[List[int], List[int]]:
+        """One driver call: payload indices + per-sample bit counts."""
+        if backend == "sequential":
+            counting = CountingBits(
+                source if source is not None else BitPool(seed)
+            )
+            indices: List[int] = []
+            bits: List[int] = []
+            for _ in range(n):
+                indices.append(
+                    _driver._step_indices(self.table, counting, fuel,
+                                          self.tied)
+                )
+                bits.append(counting.take_count())
+            return indices, bits
+        if backend == "python":
+            return _driver.collect_python(
+                self.table, n, BitPool(seed), fuel, self.tied
+            )
+        raw_indices, raw_bits = _driver.collect_numpy(
+            self.table, n, seed=seed, max_steps=fuel, tied=self.tied
+        )
+        return raw_indices.tolist(), raw_bits.tolist()
+
     def collect(
         self,
         n: int,
@@ -158,40 +403,63 @@ class BatchSampler:
         extract: Optional[Callable[[object], object]] = None,
         fuel: Optional[int] = None,
         backend: str = "auto",
+        batch_size: Optional[int] = None,
     ) -> SampleSet:
         """Draw ``n`` samples and return a :class:`SampleSet`.
 
         ``extract`` is applied once per *distinct* terminal payload, not
         once per sample -- a large win when payloads are program states.
+
+        ``batch_size`` splits the collection into chunks of at most that
+        many samples per driver call (bounding peak lane memory on the
+        numpy backend).  Chunked pooled backends derive one seed per
+        chunk, so the draw remains seeded-deterministic and i.i.d. but
+        the concatenated stream differs from an unchunked run;
+        ``batch_size=None`` (the default, and the registry profiles')
+        is the bit-stable single-call path.  The sequential backend
+        threads one counting source through every chunk, so chunking
+        never changes its bit stream.
         """
         if n <= 0:
             raise ValueError("need a positive sample count")
         if backend not in BACKENDS:
-            raise ValueError("unknown backend %r" % (backend,))
+            raise ValueError(
+                "unknown backend %r (valid: %s)"
+                % (backend, ", ".join(BACKENDS))
+            )
         if source is not None:
             backend = "sequential"
         elif backend == "auto":
             backend = "numpy" if HAVE_NUMPY else "python"
 
-        if backend == "sequential":
-            counting = CountingBits(source if source is not None else BitPool(seed))
-            indices: List[int] = []
-            bits: List[int] = []
-            for _ in range(n):
-                indices.append(
-                    _driver._step_indices(self.table, counting, fuel, self.tied)
+        if batch_size is not None and batch_size <= 0:
+            raise ValueError("batch_size must be positive or None")
+        if batch_size is None or batch_size >= n:
+            indices, bits = self._collect_indices(n, seed, source, fuel,
+                                                  backend)
+        elif backend == "sequential":
+            # One shared source: chunk boundaries are invisible to the
+            # bit stream.
+            shared = source if source is not None else BitPool(seed)
+            indices, bits = self._collect_indices(n, seed, shared, fuel,
+                                                  backend)
+        else:
+            indices, bits = [], []
+            drawn = 0
+            chunk_index = 0
+            while drawn < n:
+                chunk = min(batch_size, n - drawn)
+                chunk_seed = (
+                    None if seed is None
+                    else (seed + 0x9E3779B1 * (chunk_index + 1)) % (2 ** 63)
                 )
-                bits.append(counting.take_count())
-        elif backend == "python":
-            indices, bits = _driver.collect_python(
-                self.table, n, BitPool(seed), fuel, self.tied
-            )
-        else:  # numpy
-            raw_indices, raw_bits = _driver.collect_numpy(
-                self.table, n, seed=seed, max_steps=fuel, tied=self.tied
-            )
-            indices = raw_indices.tolist()
-            bits = raw_bits.tolist()
+                chunk_indices, chunk_bits = self._collect_indices(
+                    chunk, chunk_seed, None, fuel, backend
+                )
+                indices.extend(chunk_indices)
+                bits.extend(chunk_bits)
+                drawn += chunk
+                chunk_index += 1
 
         mapped = self.table.map_payloads(extract)
         values = [

@@ -8,13 +8,18 @@ every iteration and its slack decays only as fast as paths can be
 popped one at a time.  This module instead treats the compiled CF-DAG
 as a **mass-transfer system** and iterates it to a fixpoint:
 
-- A **station** is a pair ``(token, state)``: a loop head (identified
-  by its content token -- the PR 6 digest key when present, pointer
-  identity otherwise) together with a concrete loop state.
+- A **station** is a triple ``(token, kont, state)``: a loop head
+  (identified by its content token -- the PR 6 digest key when present,
+  pointer identity otherwise), the continuation context its exits
+  deliver to (``None`` for halt, or a ``("K", outer_token, outer_kont)``
+  chain naming the enclosing loop -- the exact analogue of the node
+  table's ``_LoopK`` tokens), and a concrete loop state.
 - The **transition** out of a station expands one operational step --
   ``body(state)`` when the guard holds (leaves re-enter the same loop),
-  ``cont(state)`` otherwise (leaves terminate, nested loops become new
-  stations) -- through all ``Choice`` nodes eagerly.  The eager part is
+  ``cont(state)`` otherwise (leaves deliver to ``kont``: terminal when
+  halting, re-entry of the enclosing loop otherwise; nested loops
+  become new stations) -- through all ``Choice`` nodes eagerly.  The
+  eager part is
   finite because loops are the only source of unboundedness in a CF
   tree.  Transitions are **memoized per station**, so the thousandth
   loop iteration re-uses the first iteration's expansion for free.
@@ -177,28 +182,33 @@ class FixpointEngine:
         #: token -> representative Fix node (keeps closures alive so
         #: identity-based tokens stay unambiguous).
         self.reps: Dict[object, Fix] = {}
-        #: (token, state) -> (terminals, fail, next) with exact Fraction
-        #: masses stored as (numerator, denominator) pairs.
-        self.transitions: Dict[Tuple[object, object], tuple] = {}
+        #: (token, kont, state) -> (terminals, fail, next) with exact
+        #: Fraction masses stored as (numerator, denominator) pairs.
+        self.transitions: Dict[Tuple[object, object, object], tuple] = {}
         self.terminal: Dict[object, int] = {}
         self.fail = 0
         self.parked = 0
-        self.frontier: Dict[Tuple[object, object], int] = {}
+        self.frontier: Dict[Tuple[object, object, object], int] = {}
         self.sweeps = 0
 
     # -- exact one-step expansion (memoized) -----------------------------
 
-    def _expand(self, tree: CFTree, reenter_token) -> tuple:
+    def _expand(self, tree: CFTree, kont) -> tuple:
         """Expand ``tree`` through Choices with exact Fractions.
 
-        Leaves become re-entry stations of ``reenter_token`` when set
-        (body expansion: Definition 3.1's loop-again reading), terminal
-        values otherwise; nested ``Fix`` nodes become stations of their
-        own token.  Returns ``(terminals, fail, next)`` where terminals
-        and next carry ``(key, numerator, denominator)`` triples.
+        ``kont`` is the continuation context of this expansion: ``None``
+        for halt, or ``("K", token, outer_kont)`` naming the loop that
+        leaves re-enter.  Leaves deliver their value to ``kont`` --
+        terminal when halting, a re-entry station of the named loop
+        otherwise (body expansion: Definition 3.1's loop-again reading).
+        Nested ``Fix`` nodes become stations of their own token *under
+        the current* ``kont``, so when they eventually exit their leaves
+        continue in the enclosing context rather than terminating.
+        Returns ``(terminals, fail, next)`` where terminals and next
+        carry ``(key, numerator, denominator)`` triples.
         """
         terms: Dict[object, Fraction] = {}
-        nxt: Dict[Tuple[object, object], Fraction] = {}
+        nxt: Dict[Tuple[object, object, object], Fraction] = {}
         fail = Fraction(0)
         work = [(tree, Fraction(1))]
         while work:
@@ -212,15 +222,16 @@ class FixpointEngine:
             elif isinstance(node, Fail):
                 fail += mass
             elif isinstance(node, Leaf):
-                if reenter_token is not None:
-                    key = (reenter_token, node.value)
+                if kont is not None:
+                    _, token, outer = kont
+                    key = (token, outer, node.value)
                     nxt[key] = nxt.get(key, Fraction(0)) + mass
                 else:
                     terms[node.value] = terms.get(node.value, Fraction(0)) + mass
             elif isinstance(node, Fix):
                 token = station_token(node)
                 self.reps.setdefault(token, node)
-                key = (token, node.init)
+                key = (token, kont, node.init)
                 nxt[key] = nxt.get(key, Fraction(0)) + mass
             else:
                 raise TypeError("not a CF tree: %r" % (node,))
@@ -230,16 +241,16 @@ class FixpointEngine:
             tuple((k, m.numerator, m.denominator) for k, m in nxt.items()),
         )
 
-    def _transition(self, token: object, state: object) -> tuple:
-        memo = self.transitions.get((token, state))
+    def _transition(self, token: object, kont, state: object) -> tuple:
+        memo = self.transitions.get((token, kont, state))
         if memo is not None:
             return memo
         fix = self.reps[token]
         if fix.guard(state):
-            result = self._expand(fix.body(state), token)
+            result = self._expand(fix.body(state), ("K", token, kont))
         else:
-            result = self._expand(fix.cont(state), None)
-        self.transitions[(token, state)] = result
+            result = self._expand(fix.cont(state), kont)
+        self.transitions[(token, kont, state)] = result
         return result
 
     # -- mass transfer ---------------------------------------------------

@@ -112,3 +112,45 @@ class TestFixpointRefinement:
                     "refinement widened P(%r): %s -> %s"
                     % (value, coarse, fine)
                 )
+
+
+class TestNestedLoopContinuations:
+    def test_inner_loop_exit_reenters_outer_loop(self):
+        # Regression: ``Uniform(3, ...)`` inside a ``While`` body
+        # compiles to a rejection ``Fix`` nested in the outer loop's
+        # body.  The engine used to expand the inner loop's ``cont``
+        # with the halt continuation, so all mass terminated after ONE
+        # outer iteration (k=1 states) instead of re-entering the outer
+        # loop -- disjoint from enumeration's correct k=2 bounds.
+        from repro.lang import Assign, BinOp, Lit, Seq, Uniform, Var, While
+
+        command = Seq(
+            Assign("k", Lit(0)),
+            While(
+                BinOp("<", Var("k"), Lit(2)),
+                Seq(Uniform(Lit(3), "x"),
+                    Assign("k", BinOp("+", Var("k"), Lit(1)))),
+            ),
+        )
+        certified = fixpoint_posterior(command, width=WIDTH)
+        account = certified.account
+        assert account.check_conservation()
+        assert account.terminal, "fixpoint settled no terminal mass"
+        for state in account.terminal:
+            assert state["k"] == 2, (
+                "terminal state %r exited after one outer iteration" % (state,)
+            )
+        # Final x is uniform over {0, 1, 2}: every terminal interval
+        # must contain 1/3, and enumeration must agree at any budget.
+        third = Fraction(1, 3)
+        coarse = infer_posterior(command, max_expansions=256)
+        for state, _ in account.terminal.items():
+            bounds = account.unconditional_bounds(state)
+            assert bounds.lo <= third <= bounds.hi, (
+                "P(%r) = %s excludes 1/3" % (state, bounds)
+            )
+            _assert_intersects(
+                bounds,
+                coarse.account.unconditional_bounds(state),
+                "terminal mass at %r" % (state,),
+            )

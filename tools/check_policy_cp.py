@@ -1,0 +1,76 @@
+"""CI gate: Clopper-Pearson check on the engine-policy win rate.
+
+``benchmarks/bench_engine_policy.py`` records, per trial, whether the
+tuned engine profile reached the tolerance fraction of the static
+heuristic's throughput.  Timings on shared CI runners are noisy, so the
+gate is *statistical*: with ``k`` wins in ``n`` trials, the one-sided
+exact binomial lower bound ``clopper_pearson_lower(k, n, alpha)`` on
+the true win probability must clear ``--min-rate``.  One slow trial
+cannot flake the job (the bound barely moves), but a policy that
+genuinely regresses below ``min_rate`` cannot pass by luck more than
+an ``alpha`` fraction of runs.
+
+Exit status: 0 when the gate holds, 1 otherwise (CI fails the job).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+from repro.stats.binomial import clopper_pearson_lower  # noqa: E402
+
+DEFAULT_RESULT = os.path.join(
+    _ROOT, "benchmarks", "results", "BENCH_policy.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", nargs="?", default=DEFAULT_RESULT,
+                        help="BENCH_policy.json path")
+    parser.add_argument("--alpha", type=float, default=0.05,
+                        help="one-sided confidence level (default 0.05)")
+    parser.add_argument("--min-rate", type=float, default=0.6,
+                        help="required lower bound on the win rate")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.result) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError) as err:
+        print("check_policy_cp: cannot read %s: %s" % (args.result, err))
+        return 1
+
+    k = record.get("wins")
+    n = record.get("trials")
+    if not isinstance(k, int) or not isinstance(n, int) or n <= 0 or not (
+        0 <= k <= n
+    ):
+        print("check_policy_cp: malformed record (wins=%r, trials=%r)"
+              % (k, n))
+        return 1
+
+    lower = clopper_pearson_lower(k, n, alpha=args.alpha)
+    verdict = lower >= args.min_rate
+    print(
+        "engine policy: %d/%d trials held %s%% of static throughput; "
+        "CP lower bound (alpha=%g) = %.3f, gate >= %.2f: %s"
+        % (
+            k,
+            n,
+            round(100 * record.get("tolerance", 0.8)),
+            args.alpha,
+            lower,
+            args.min_rate,
+            "PASS" if verdict else "FAIL",
+        )
+    )
+    return 0 if verdict else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
