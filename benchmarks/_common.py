@@ -59,6 +59,31 @@ def write_bench_json(name: str, record: dict) -> None:
     print("%s: %s" % (path.name, json.dumps(record, sort_keys=True)))
 
 
+def merge_bench_json(name: str, updates: dict) -> None:
+    """Merge ``updates`` into an existing benchmark record (or start one).
+
+    :func:`write_bench_json` overwrites whole files, which is right for
+    a bench that owns its record.  A bench that *adds* a section to a
+    record another test owns (the native-backend rows folded into
+    ``BENCH_engine.json``) merges instead, so test order and CI job
+    order can never clobber the other side's data.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / ("%s.json" % name)
+    record = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, dict):
+                record = loaded
+        except ValueError:
+            pass  # torn file from a crashed writer: start fresh
+    record.update(updates)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print()
+    print("%s += %s" % (path.name, json.dumps(updates, sort_keys=True)))
+
+
 #: Back-compat alias; new benchmarks use :func:`write_bench_json`.
 write_json_result = write_bench_json
 

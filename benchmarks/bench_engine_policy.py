@@ -57,6 +57,13 @@ def _programs():
         ("die_n6", n_sided_die(6)),
         ("die_n200", n_sided_die(200)),
         ("dueling_2_3", dueling_coins(Fraction(2, 3))),
+        # Large closed table (~29k rows after bounded closure): the
+        # regime where the tuner should *learn* the native kernel arm --
+        # the static prior (numpy) pays per-lane scatter over a big
+        # table, the kernel walks flat int32 arrays.  With no compiler
+        # the arm is simply absent and the case still measures
+        # numpy-vs-python.
+        ("die_n10000", n_sided_die(10000)),
     ]
 
 

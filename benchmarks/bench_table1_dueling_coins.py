@@ -27,11 +27,13 @@ from repro.stats.distributions import bernoulli_pmf
 
 from benchmarks._common import (
     bench_samples,
+    merge_bench_json,
     row_timing,
     timed_run,
     write_bench_json,
     write_result,
 )
+from benchmarks._native import measure_native_rows
 
 CASES = [
     # (p, weight, paper mu_bit)
@@ -65,6 +67,48 @@ def test_table1_row(benchmark, p, weight, paper_bits):
     assert abs(row.mean_bits - exact) / exact < 0.1
     assert abs(exact - paper_bits) / paper_bits < 0.01
     test_table1_row.rows = getattr(test_table1_row, "rows", []) + [row]
+
+
+def test_table1_native_speedup(benchmark):
+    """Native-backend bar on Table 1's rejection-heavy programs: >= 10x
+    geometric mean over the numpy driver at the driver level.  The
+    dueling-coins rows are where the kernel shines brightest -- deep
+    tied-restart loops spend everything in the walk itself -- so this
+    bench complements Table 3's fixed-cost-bound small die.  Results
+    merge into ``BENCH_engine.json`` (gated by
+    ``tools/check_native_speedup.py``) and ``BENCH_table1.json``.
+    """
+    from repro.engine.native import native_available
+    from repro.engine.pool import HAVE_NUMPY
+
+    if not native_available():
+        pytest.skip("native backend unavailable (no C compiler/disabled)")
+    if not HAVE_NUMPY:
+        pytest.skip("numpy driver absent: no baseline to measure against")
+
+    cases = [("p=%s" % p, dueling_coins(p), weight)
+             for p, weight, _ in CASES]
+    rows, geomean = benchmark.pedantic(
+        lambda: measure_native_rows(cases), rounds=1, iterations=1
+    )
+    merge_bench_json(
+        "BENCH_engine",
+        {
+            "native_table1": {
+                "rows": rows,
+                "geomean_speedup": round(geomean, 2),
+            }
+        },
+    )
+    test_table1_row.timings = getattr(test_table1_row, "timings", []) + [
+        row_timing("%s native" % row["param"], row["samples"],
+                   row["native_seconds"])
+        for row in rows
+    ]
+    assert geomean >= 10.0, (
+        "native geomean speedup %.1fx below the 10x bar (rows: %s)"
+        % (geomean, [(r["param"], r["speedup"]) for r in rows])
+    )
 
 
 def test_table1_render(benchmark):

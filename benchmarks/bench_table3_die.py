@@ -24,11 +24,13 @@ from repro.stats.entropy import knuth_yao_bounds
 
 from benchmarks._common import (
     bench_samples,
+    merge_bench_json,
     row_timing,
     timed_run,
     write_bench_json,
     write_result,
 )
+from benchmarks._native import measure_native_rows
 
 CASES = [
     (6, 1, 3.66),
@@ -120,6 +122,48 @@ def test_table3_engine_speedup(benchmark):
     # Sanity: the engine sampled the same distribution (3.66 bits/sample).
     assert abs(first.samples.mean_bits() - 11 / 3) < 0.2
     assert speedup >= 10.0, "engine speedup %.1fx below the 10x bar" % speedup
+
+
+def test_table3_native_speedup(benchmark):
+    """The native-backend acceptance bar on Table 3's programs: the
+    generated C kernel must clear a >= 10x geometric-mean speedup over
+    the numpy driver across the die rows, measured at the driver level
+    (see :mod:`benchmarks._native` for why driver level and why the
+    geometric mean).  Per-row numbers and the gmean merge into
+    ``BENCH_engine.json`` (``tools/check_native_speedup.py`` gates on
+    it) and the native rows join ``BENCH_table3.json``.
+    """
+    from repro.engine.native import native_available
+    from repro.engine.pool import HAVE_NUMPY
+
+    if not native_available():
+        pytest.skip("native backend unavailable (no C compiler/disabled)")
+    if not HAVE_NUMPY:
+        pytest.skip("numpy driver absent: no baseline to measure against")
+
+    cases = [("n=%d" % n, n_sided_die(n), weight)
+             for n, weight, _ in CASES]
+    rows, geomean = benchmark.pedantic(
+        lambda: measure_native_rows(cases), rounds=1, iterations=1
+    )
+    merge_bench_json(
+        "BENCH_engine",
+        {
+            "native_table3": {
+                "rows": rows,
+                "geomean_speedup": round(geomean, 2),
+            }
+        },
+    )
+    test_table3_row.timings = getattr(test_table3_row, "timings", []) + [
+        row_timing("%s native" % row["param"], row["samples"],
+                   row["native_seconds"])
+        for row in rows
+    ]
+    assert geomean >= 10.0, (
+        "native geomean speedup %.1fx below the 10x bar (rows: %s)"
+        % (geomean, [(r["param"], r["speedup"]) for r in rows])
+    )
 
 
 def test_table3_render(benchmark):

@@ -241,6 +241,13 @@ def _print_pipeline_stats(program, sigma, args, out: TextIO) -> None:
                   frz["calls"] - frz["calls_unkeyed"], frz["calls"],
                   frz["memo_keyed"], frz["memo_entries"],
               ), file=out)
+    from repro.engine.native import kernel_status
+
+    # Kernel-cache state for the generated-C backend, mirroring the
+    # ``cacheable:`` line: resolving it here actually builds (or hits)
+    # the kernel, so the reported compile ms / cache tier is measured,
+    # not guessed.
+    print("  native:        %s" % kernel_status(prog.table), file=out)
     memo = stats.get("cftree_cache") or {}
     artifacts = get_cache().stats()
     print("  compile memo:  %d hits / %d misses (capacity %d)" % (

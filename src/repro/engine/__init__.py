@@ -22,6 +22,11 @@ from repro.engine.driver import (
     collect_python,
     run_table,
 )
+from repro.engine.native import (
+    collect_kernel,
+    kernel_for,
+    native_available,
+)
 from repro.engine.pool import BitPool, HAVE_NUMPY, SourcePool
 from repro.engine.profile import (
     PROFILES,
@@ -54,11 +59,14 @@ __all__ = [
     "PROFILES",
     "ProgramFeatures",
     "collect_auto",
+    "collect_kernel",
     "feature_bucket",
     "features_of",
     "get_tuner",
     "HAVE_NUMPY",
+    "kernel_for",
     "LoweringError",
+    "native_available",
     "NodeTable",
     "profile_from_dict",
     "profile_named",

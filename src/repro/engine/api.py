@@ -10,6 +10,10 @@ batches::
 the trampoline-based ``repro.sampler.record.collect`` produces, so the
 harness and benchmarks consume either interchangeably.  Backends:
 
+- ``"native"`` -- a generated C kernel over the pooled bit stream
+  (closed tables only; see :mod:`repro.engine.native`), bit-for-bit
+  identical to ``"sequential"``/``"python"`` on the same seed, with an
+  observable downgrade to ``"python"`` when no kernel can run;
 - ``"numpy"``  -- vectorized lanes (default when numpy is installed);
 - ``"python"`` -- pooled pure-Python batch loop;
 - ``"sequential"`` -- per-sample stepping against an explicit
@@ -36,7 +40,7 @@ from repro.lang.state import State
 from repro.lang.syntax import Command
 from repro.sampler.record import SampleSet
 
-BACKENDS = ("auto", "numpy", "python", "sequential")
+BACKENDS = ("auto", "native", "numpy", "python", "sequential")
 
 ENGINES = ("auto", "batch", "trampoline")
 
@@ -47,8 +51,10 @@ class CollectResult(NamedTuple):
     ``profile`` is the resolved :class:`~repro.engine.profile.
     EngineProfile`; ``fallback_reason`` carries the stringified
     ``LoweringError`` when a requested batch path silently downgraded
-    to the trampoline (``None`` otherwise) -- telemetry records and
-    test assertions key on it.  ``seconds`` is sampling wall-clock
+    to the trampoline, or a ``"native-unavailable: ..."`` note when the
+    native backend downgraded to the bit-identical pooled Python
+    backend (``None`` otherwise) -- telemetry records and test
+    assertions key on it.  ``seconds`` is sampling wall-clock
     (compilation excluded).
     """
 
@@ -218,6 +224,18 @@ def collect_auto(
             features = None
             active_tuner = tuner
         run_backend = backend if backend is not None else resolved.backend
+        if run_backend != resolved.backend:
+            # A kwarg-level backend override is a manual pin, not a
+            # policy decision: fold it into the reported profile so the
+            # CLI/telemetry say what actually ran, and keep the run out
+            # of the tuner's arm statistics (crediting the base arm
+            # with another backend's throughput would corrupt the
+            # policy).
+            resolved = resolved._replace(
+                name="%s+%s" % (resolved.name, run_backend),
+                backend=run_backend,
+            )
+            active_tuner = None
         sampler = BatchSampler(program.table)
         start = time.perf_counter()
         try:
@@ -237,7 +255,8 @@ def collect_auto(
         else:
             seconds = time.perf_counter() - start
             result = CollectResult(
-                samples, "batch", len(sampler.table), resolved, None, seconds
+                samples, "batch", len(sampler.table), resolved,
+                sampler.native_fallback, seconds
             )
             if active_tuner is not None and seconds > 0:
                 if features is None:
@@ -248,6 +267,7 @@ def collect_auto(
                 cache_source=getattr(program, "source", None),
                 bucket=feature_bucket(features) if features is not None
                 else None,
+                kernel=sampler.native_info,
             )
             return result
 
@@ -263,7 +283,7 @@ def collect_auto(
 
 
 def _emit_run(program, profile, result: CollectResult, n: int,
-              cache_source=None, bucket=None) -> None:
+              cache_source=None, bucket=None, kernel=None) -> None:
     """Append a telemetry record for one run (no-op when disabled)."""
     from repro.telemetry import make_run_record, emit, telemetry_enabled
 
@@ -282,6 +302,8 @@ def _emit_run(program, profile, result: CollectResult, n: int,
             fallback_reason=result.fallback_reason,
             table_rows=result.table_nodes,
             feature_bucket=bucket,
+            kernel_cache=(kernel or {}).get("tier"),
+            kernel_compile_ms=(kernel or {}).get("compile_ms"),
         )
     )
 
@@ -292,6 +314,14 @@ class BatchSampler:
     def __init__(self, table: NodeTable, tied: bool = True):
         self.table = table
         self.tied = tied
+        #: After a ``backend="native"`` collect: the downgrade note
+        #: (``"native-unavailable: ..."``) when the kernel path could
+        #: not run and the pooled Python backend served the request
+        #: bit-identically, else ``None``.
+        self.native_fallback: Optional[str] = None
+        #: Kernel-cache telemetry from the last native resolution
+        #: (``tier``/``compile_ms``/``digest``), else ``None``.
+        self.native_info = None
 
     # -- constructors ----------------------------------------------------
 
@@ -373,6 +403,14 @@ class BatchSampler:
         backend: str,
     ) -> Tuple[List[int], List[int]]:
         """One driver call: payload indices + per-sample bit counts."""
+        if backend == "native":
+            indices_bits = self._collect_native(n, seed, fuel)
+            if indices_bits is not None:
+                return indices_bits
+            # Downgrade (reason recorded in ``native_fallback``) to the
+            # pooled Python backend, which consumes the identical
+            # ``BitPool(seed)`` stream -- the fallback is bit-for-bit.
+            backend = "python"
         if backend == "sequential":
             counting = CountingBits(
                 source if source is not None else BitPool(seed)
@@ -394,6 +432,33 @@ class BatchSampler:
             self.table, n, seed=seed, max_steps=fuel, tied=self.tied
         )
         return raw_indices.tolist(), raw_bits.tolist()
+
+    def _collect_native(
+        self, n: int, seed: Optional[int], fuel: Optional[int]
+    ) -> Optional[Tuple[List[int], List[int]]]:
+        """Try the generated-kernel path; ``None`` means "downgrade".
+
+        Every refusal is observable: ``native_fallback`` carries a
+        ``"native-unavailable: <reason>"`` note and ``native_info`` the
+        kernel-cache telemetry (when a kernel was resolved).
+        """
+        from repro.engine import native as _native
+
+        if fuel is not None:
+            # Fuel counts *node visits*, a quantity only the Python
+            # drivers define (the kernel sees no JMP/LEAF rows); refuse
+            # rather than approximate so metered runs stay exact.
+            self.native_fallback = (
+                "native-unavailable: fuel metering needs the Python "
+                "drivers' step accounting"
+            )
+            return None
+        kernel, reason, info = _native.kernel_for(self.table)
+        self.native_info = info
+        if kernel is None:
+            self.native_fallback = "native-unavailable: %s" % reason
+            return None
+        return _native.collect_kernel(kernel, n, seed=seed, tied=self.tied)
 
     def collect(
         self,
@@ -422,6 +487,7 @@ class BatchSampler:
         """
         if n <= 0:
             raise ValueError("need a positive sample count")
+        self.native_fallback = None
         if backend not in BACKENDS:
             raise ValueError(
                 "unknown backend %r (valid: %s)"

@@ -1,0 +1,288 @@
+"""Lower a closed :class:`~repro.engine.table.NodeTable` to C source.
+
+The generated kernel is a *switch-free* table walk: after jump
+threading, every interior node of a closed table is an ``OP_BIT`` row,
+so the walk is one line of C --
+
+    i = bit ? ZA[i] : ZB[i];
+
+-- over two flat ``int32`` arrays.  Terminals are folded into the edge
+codes instead of occupying rows: ``-1`` is observation failure
+(``OP_FAIL``) and ``-(p + 2)`` is the leaf with payload index ``p``, so
+the inner loop needs no opcode dispatch at all.  A tied failure resets
+``i`` to the root *without* resetting the per-sample bit counter --
+exactly the sequential driver's restart semantics.
+
+The encoding is **canonical**: bit rows *and* leaf codes are renumbered
+in discovery order from the (threaded) root, so two tables with the
+same reachable DAG but different physical layouts -- e.g. one built
+fresh and one rehydrated from the artifact store after a different JIT
+expansion history -- produce byte-identical C and hence the same kernel
+digest.  The table's own payload indices (which *are* history-
+dependent) stay out of the digest: the kernel emits them through a
+per-table ``payload_map`` array passed at call time.  That is what lets
+a warm artifact store skip the C compiler entirely.
+
+What cannot be compiled raises :class:`KernelUnsupported` with the
+reason the caller surfaces through ``CollectResult.fallback_reason``:
+pending stubs (the table is open; expansion needs live Python
+closures), ``OP_CALL`` rows (frame-separated loop returns resolve
+lazily through :meth:`NodeTable.call_return`), bit-free jump cycles
+(the walk would diverge without consuming bits), and a root that
+resolves straight to ``OP_FAIL`` under tied semantics (ditto).
+"""
+
+import hashlib
+from typing import List, NamedTuple
+
+from repro.engine.table import (
+    NodeTable,
+    OP_BIT,
+    OP_CALL,
+    OP_FAIL,
+    OP_JMP,
+    OP_LEAF,
+    OP_STUB,
+)
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "EncodedTable",
+    "KernelUnsupported",
+    "encode_table",
+    "encoded_digest",
+    "render_c",
+]
+
+#: Bump whenever the encoding or the C template changes: the version is
+#: part of the kernel digest, so stale cached kernels miss cleanly.
+#: v2: payload codes are canonical (discovery-ordered) and the kernel
+#: takes a per-table payload remap array, making the digest fully
+#: layout-insensitive.
+CODEGEN_VERSION = 2
+
+#: Sentinel for "no sample in flight" in the resumable kernel state.
+FRESH_STATE = -(2 ** 63)
+
+
+class KernelUnsupported(ValueError):
+    """The table cannot be lowered to a native kernel (reason in args)."""
+
+
+class EncodedTable(NamedTuple):
+    """The canonical switch-free encoding of a closed table.
+
+    ``a``/``b`` are per-bit-row successor codes (row index when >= 0,
+    ``-1`` for FAIL, ``-(p + 2)`` for the *canonical* leaf code ``p``).
+    Leaf codes are numbered in discovery order too -- the table's own
+    payload indices depend on expansion history, so baking them into
+    the encoding would fork the digest across histories.
+    ``payload_map`` translates canonical code -> this table's payload
+    index; it rides *outside* the digest and is handed to the kernel at
+    call time, so one cached ``.so`` serves every layout of the same
+    reachable DAG.
+    """
+
+    a: List[int]
+    b: List[int]
+    root: int
+    payload_map: List[int]
+
+
+def _thread(table: NodeTable, index: int) -> int:
+    """Follow JMP chains without expanding; raise on bit-free cycles."""
+    seen = None
+    while table.op[index] == OP_JMP:
+        if seen is None:
+            seen = {index}
+        index = table.a[index]
+        if index in seen:
+            raise KernelUnsupported(
+                "bit-free jump cycle (the walk would diverge without "
+                "consuming bits)"
+            )
+        seen.add(index)
+    return index
+
+
+def encode_table(table: NodeTable) -> EncodedTable:
+    """Canonically renumber ``table`` into an :class:`EncodedTable`.
+
+    Only rows reachable from the root are encoded, in discovery order
+    (root first, then each bit row's threaded ``a`` / ``b`` successors
+    breadth-first) -- a layout-insensitive numbering.
+    """
+    op, a, b, payload = table.op, table.a, table.b, table.payload
+    if table.pending_stubs:
+        raise KernelUnsupported(
+            "open table (%d loop-state stubs pending; expansion needs "
+            "live Python closures)" % table.pending_stubs
+        )
+
+    number = {}
+    order: List[int] = []
+    leaf_number = {}
+    leaf_order: List[int] = []
+
+    def code_of(index: int) -> int:
+        index = _thread(table, index)
+        o = op[index]
+        if o == OP_LEAF:
+            p = payload[index]
+            canonical = leaf_number.get(p)
+            if canonical is None:
+                canonical = leaf_number[p] = len(leaf_order)
+                leaf_order.append(p)
+            return -(canonical + 2)
+        if o == OP_FAIL:
+            return -1
+        if o == OP_STUB:
+            raise KernelUnsupported(
+                "open table (reached an unexpanded stub row)"
+            )
+        if o == OP_CALL:
+            raise KernelUnsupported(
+                "call rows (frame-separated loop returns resolve lazily "
+                "in Python)"
+            )
+        hit = number.get(index)
+        if hit is None:
+            hit = number[index] = len(order)
+            order.append(index)
+        return hit
+
+    root = code_of(table.root)
+    if root == -1:
+        raise KernelUnsupported(
+            "root resolves to FAIL (a tied restart would diverge without "
+            "consuming bits)"
+        )
+    enc_a: List[int] = []
+    enc_b: List[int] = []
+    cursor = 0
+    while cursor < len(order):
+        index = order[cursor]
+        cursor += 1
+        enc_a.append(code_of(a[index]))
+        enc_b.append(code_of(b[index]))
+    return EncodedTable(enc_a, enc_b, root, leaf_order)
+
+
+def encoded_digest(encoded: EncodedTable) -> str:
+    """SHA-256 over the canonical encoding + codegen version."""
+    hasher = hashlib.sha256()
+    hasher.update(b"zar-native-kernel:%d\n" % CODEGEN_VERSION)
+    hasher.update(b"root:%d\n" % encoded.root)
+    hasher.update(("a:" + ",".join(map(str, encoded.a)) + "\n").encode())
+    hasher.update(("b:" + ",".join(map(str, encoded.b)) + "\n").encode())
+    return hasher.hexdigest()
+
+
+def _c_array(name: str, values: List[int]) -> str:
+    lines = ["static const int32_t %s[%d] = {" % (name, max(len(values), 1))]
+    row: List[str] = []
+    for value in values:
+        row.append(str(value))
+        if len(row) == 12:
+            lines.append("    " + ", ".join(row) + ",")
+            row = []
+    if row:
+        lines.append("    " + ", ".join(row) + ",")
+    if not values:
+        lines.append("    0,")
+    lines.append("};")
+    return "\n".join(lines)
+
+
+def render_c(encoded: EncodedTable, digest: str) -> str:
+    """The complete C translation unit for one encoded table.
+
+    The two successor arrays are interleaved as ``ZT[2*i + bit]``
+    (``bit = 0`` is the ``b`` edge) so the inner step is pure address
+    arithmetic -- no data-dependent branch on a fair bit, which would
+    mispredict half the time by construction.
+    """
+    interleaved: List[int] = []
+    for a_code, b_code in zip(encoded.a, encoded.b):
+        interleaved.append(b_code)
+        interleaved.append(a_code)
+    return _TEMPLATE % {
+        "version": CODEGEN_VERSION,
+        "digest": digest,
+        "rows": len(encoded.a),
+        "root": encoded.root,
+        "zt": _c_array("ZT", interleaved),
+    }
+
+
+_TEMPLATE = """\
+/* Generated by zar native codegen v%(version)d -- do not edit.
+ *
+ * Kernel digest: %(digest)s
+ * %(rows)d bit rows; successor codes >= 0 are row indices, -1 is
+ * observation failure, -(p + 2) is the canonical leaf code p (the
+ * caller's payload_map translates codes to its payload indices).
+ * ZT interleaves the b/a successor arrays as ZT[2*i + bit], keeping
+ * the inner step branch-free (a fair bit mispredicts by definition).
+ * The walk consumes the caller's packed fair-bit buffer LSB-first per
+ * byte, little-endian across bytes -- BitPool's exact chunk order.
+ */
+#include <stdint.h>
+
+#define ZAR_ROOT %(root)d
+#define ZAR_FRESH (-9223372036854775807LL - 1)
+
+%(zt)s
+
+static const char ZAR_DIGEST[] = "%(digest)s";
+
+const char *zar_digest(void) { return ZAR_DIGEST; }
+int32_t zar_codegen_version(void) { return %(version)d; }
+int64_t zar_rows(void) { return %(rows)d; }
+
+/* Draw samples done..n-1 from the table over one packed bit buffer.
+ *
+ * Returns the new number of finished samples.  When the buffer drains
+ * mid-sample the in-flight (node, bits-used) pair parks in state[0..1]
+ * (state[0] == ZAR_FRESH means no sample in flight) and the caller
+ * refills and re-invokes; the parked walk resumes on the next buffer's
+ * first bit, so refill boundaries are invisible to the bit stream.
+ * A tied failure restarts at the root without resetting the bit
+ * counter -- the sequential driver's exact restart semantics.
+ */
+int64_t zar_collect(const unsigned char *bits, int64_t total_bits,
+                    int64_t done, int64_t n,
+                    int64_t *out_idx, int64_t *out_bits,
+                    int64_t *state, const int32_t *payload_map,
+                    int32_t tied)
+{
+    int64_t pos = 0;
+    int64_t i = (state[0] == ZAR_FRESH) ? ZAR_ROOT : state[0];
+    int64_t used = (state[0] == ZAR_FRESH) ? 0 : state[1];
+    while (done < n) {
+        while (i >= 0) {
+            if (pos >= total_bits) {
+                state[0] = i;
+                state[1] = used;
+                return done;
+            }
+            i = (int64_t)ZT[(i << 1)
+                            | ((bits[pos >> 3] >> (pos & 7)) & 1)];
+            pos++;
+            used++;
+        }
+        if (i == -1 && tied) {
+            i = ZAR_ROOT;
+            continue;
+        }
+        out_idx[done] = (i == -1) ? -1 : (int64_t)payload_map[-i - 2];
+        out_bits[done] = used;
+        done++;
+        i = ZAR_ROOT;
+        used = 0;
+    }
+    state[0] = ZAR_FRESH;
+    state[1] = 0;
+    return done;
+}
+"""

@@ -164,6 +164,12 @@ register_profile(EngineProfile(name="batch-python", engine="batch",
                                backend="python"))
 register_profile(EngineProfile(name="batch-sequential", engine="batch",
                                backend="sequential"))
+# The generated-C-kernel backend (closed tables; bit-identical Python
+# fallback otherwise).  Opt-in via --backend/--profile/the tuner: the
+# static prior below never selects it, so cold-start behavior -- and
+# the auto==static identity the differential tests pin -- is unchanged.
+register_profile(EngineProfile(name="native", engine="batch",
+                               backend="native"))
 
 
 def profile_named(name: str) -> EngineProfile:

@@ -123,6 +123,13 @@ class EngineTuner:
                 continue
             if profile.backend == "numpy" and not HAVE_NUMPY:
                 continue
+            if profile.backend == "native":
+                from repro.engine.native import native_available
+
+                # No compiler (or disabled): the arm would silently
+                # measure the Python fallback -- skip it instead.
+                if not native_available():
+                    continue
             if profile.backend == "auto":
                 continue  # resolves to one of the concrete arms anyway
             names.append(name)

@@ -92,8 +92,17 @@ def make_run_record(
     table_rows: int = 0,
     feature_bucket: Optional[str] = None,
     kind: str = "collect",
+    kernel_cache: Optional[str] = None,
+    kernel_compile_ms: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Assemble one schema-stable run record (not yet written)."""
+    """Assemble one schema-stable run record (not yet written).
+
+    ``kernel_cache``/``kernel_compile_ms`` describe the native
+    backend's kernel resolution (cache tier served, and compile time
+    when the C compiler actually ran); both stay ``None`` on every
+    other backend.  The addition is schema-compatible: consumers key on
+    known fields, so no version bump.
+    """
     samples_per_sec = (n / seconds) if seconds > 0 else None
     return {
         "schema": SCHEMA_VERSION,
@@ -111,6 +120,8 @@ def make_run_record(
         "fallback_reason": fallback_reason,
         "table_rows": table_rows,
         "feature_bucket": feature_bucket,
+        "kernel_cache": kernel_cache,
+        "kernel_compile_ms": kernel_compile_ms,
     }
 
 

@@ -199,14 +199,14 @@ class TestValidationErrors:
 
     def test_unknown_backend_lists_valid_set(self):
         with pytest.raises(
-            ValueError, match=r"auto, numpy, python, sequential"
+            ValueError, match=r"auto, native, numpy, python, sequential"
         ):
             collect_auto(n_sided_die(6), 10, backend="gpu")
 
     def test_batch_sampler_backend_error_lists_valid_set(self):
         sampler = BatchSampler.from_command(n_sided_die(6))
         with pytest.raises(
-            ValueError, match=r"auto, numpy, python, sequential"
+            ValueError, match=r"auto, native, numpy, python, sequential"
         ):
             sampler.collect(10, seed=0, backend="gpu")
 
@@ -271,6 +271,22 @@ class TestFallbackObservability:
                 geometric_primes(Fraction(1, 2)), 30, seed=11,
                 profile=self._tiny_auto_profile(),
             )
+
+    def test_backend_kwarg_override_is_reported(self, tmp_path):
+        # A kwarg-level backend override must show up in the reported
+        # profile and the telemetry record -- the run should never be
+        # attributed to the base profile's backend.
+        configure_telemetry(str(tmp_path))
+        try:
+            result = collect_auto(
+                n_sided_die(6), 40, seed=5, backend="sequential"
+            )
+        finally:
+            configure_telemetry(None)
+        assert result.profile.backend == "sequential"
+        assert result.profile.name.endswith("+sequential")
+        [record] = read_records(str(tmp_path / "telemetry.jsonl"))
+        assert record["backend"] == "sequential"
 
 
 def _features(bucket_rows=8):

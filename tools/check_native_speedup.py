@@ -1,0 +1,82 @@
+"""CI gate: the native backend's >= 10x driver-level speedup bar.
+
+``benchmarks/bench_table3_die.py`` and
+``benchmarks/bench_table1_dueling_coins.py`` merge per-row native-vs-
+numpy driver timings and a per-bench geometric-mean speedup into
+``benchmarks/results/BENCH_engine.json`` (keys ``native_table3`` /
+``native_table1``; see ``benchmarks/_native.py`` for the measurement
+protocol and why the gate is a geometric mean rather than a per-row
+floor).  This checker re-derives the geometric mean from the recorded
+rows -- the gate never trusts a pre-aggregated number -- and requires
+every expected bench section to be present, so a silently-skipped bench
+(no compiler on the runner) fails the job instead of passing vacuously.
+
+Exit status: 0 when every bench clears ``--min``, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DEFAULT_RESULT = os.path.join(
+    _ROOT, "benchmarks", "results", "BENCH_engine.json"
+)
+
+EXPECTED_SECTIONS = ("native_table3", "native_table1")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("result", nargs="?", default=DEFAULT_RESULT,
+                        help="BENCH_engine.json path")
+    parser.add_argument("--min", type=float, default=10.0, dest="minimum",
+                        help="required geometric-mean speedup (default 10)")
+    parser.add_argument("--sections", nargs="*", default=EXPECTED_SECTIONS,
+                        help="record keys that must be present and pass")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.result) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError) as err:
+        print("check_native_speedup: cannot read %s: %s"
+              % (args.result, err))
+        return 1
+
+    failed = False
+    for section in args.sections:
+        entry = record.get(section)
+        rows = entry.get("rows") if isinstance(entry, dict) else None
+        if not rows:
+            print("check_native_speedup: %s: missing or empty (bench "
+                  "skipped?)" % section)
+            failed = True
+            continue
+        product = 1.0
+        for row in rows:
+            speedup = row.get("speedup")
+            if not isinstance(speedup, (int, float)) or speedup <= 0:
+                print("check_native_speedup: %s: malformed row %r"
+                      % (section, row))
+                failed = True
+                break
+            print("  %-14s %-12s native %10.1f/s  numpy %10.1f/s  %6.1fx"
+                  % (section, row.get("param"),
+                     row.get("native_samples_per_sec", 0.0),
+                     row.get("numpy_samples_per_sec", 0.0), speedup))
+            product *= speedup
+        else:
+            geomean = product ** (1.0 / len(rows))
+            verdict = geomean >= args.minimum
+            print("%s: geometric mean %.2fx (bar %.1fx): %s"
+                  % (section, geomean, args.minimum,
+                     "PASS" if verdict else "FAIL"))
+            failed = failed or not verdict
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
